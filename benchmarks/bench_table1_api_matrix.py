@@ -1,0 +1,19 @@
+"""Table 1: API supported by various filters (capability matrix)."""
+
+from repro.analysis.api_matrix import (
+    PAPER_TABLE1,
+    TABLE1_COLUMNS,
+    build_api_matrix,
+)
+from repro.analysis.reporting import format_boolean_matrix
+
+
+def test_table1_api_matrix(benchmark, report_writer):
+    """Generate the capability matrix by introspection and check it against
+    the paper's Table 1."""
+    matrix = benchmark(build_api_matrix)
+    text = format_boolean_matrix(
+        matrix, TABLE1_COLUMNS, "Table 1: API supported by various filters"
+    )
+    report_writer("table1_api_matrix", text)
+    assert matrix == PAPER_TABLE1

@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+functional simulation + performance model at a reduced simulation scale,
+formats the same rows/series the paper reports, prints them, and writes them
+to ``benchmarks/results/<name>.txt`` so the output survives the pytest run.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+#: Directory where the formatted tables/figures are written.
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Simulation scale (log2 slots) used by the benchmarks.  Small enough that
+#: the whole suite runs in a few minutes, large enough that per-operation
+#: event counts are stable.
+BENCH_SIM_LG = 11
+#: Queries simulated per phase.
+BENCH_QUERIES = 1024
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def report_writer(results_dir):
+    """Return a function that prints a report and persists it to disk."""
+
+    def write(name: str, text: str) -> None:
+        print("\n" + text + "\n")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return write

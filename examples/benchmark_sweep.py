@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Mini benchmark sweep: reproduce a slice of Figures 3 and 4 interactively.
+
+The full benchmark harness lives under ``benchmarks/`` (one module per paper
+table/figure); this example runs a reduced sweep through the same public API
+so you can explore how the modelled throughput responds to filter size,
+device, and cooperative-group size.
+
+Run with::
+
+    python examples/benchmark_sweep.py
+"""
+
+from repro.analysis import figures, reporting
+from repro.analysis.throughput import PHASE_INSERT, PHASE_POSITIVE
+from repro.core.tcf import FIGURE5_VARIANTS
+from repro.gpusim.device import A100, V100
+
+
+def main() -> None:
+    sizes = [22, 24, 26, 28]
+
+    print("Point-API sweep (Figure 3 style), V100 vs A100\n")
+    for device in (V100, A100):
+        results = figures.figure3_point_api(device, sizes, sim_lg=10, n_queries=512)
+        print(reporting.format_figure_series(
+            results, PHASE_INSERT, f"{device.system.capitalize()} point inserts"))
+        print()
+        print(reporting.format_figure_series(
+            results, PHASE_POSITIVE, f"{device.system.capitalize()} point positive queries"))
+        print()
+
+    print("Bulk-API sweep (Figure 4 style), V100\n")
+    bulk = figures.figure4_bulk_api(V100, sizes, sim_lg=10, n_queries=512)
+    print(reporting.format_figure_series(bulk, PHASE_INSERT, "Cori bulk inserts"))
+    print()
+
+    print("Cooperative-group sweep (Figure 5 style) for two TCF variants\n")
+    cg_results = figures.figure5_cg_sweep(
+        V100,
+        lg_capacity=26,
+        variants={label: FIGURE5_VARIANTS[label] for label in ("16-16", "8-8")},
+        cg_sizes=(1, 2, 4, 8, 16, 32),
+        sim_lg=10,
+        n_queries=256,
+    )
+    best = figures.figure5_optimal_cg(cg_results, PHASE_INSERT)
+    for label, per_cg in cg_results.items():
+        series = ", ".join(
+            f"cg={cg}: {point.throughput_bops(PHASE_INSERT):.2f} B/s"
+            for cg, point in sorted(per_cg.items())
+        )
+        print(f"  variant {label}: {series}")
+        print(f"    -> best cooperative-group size: {best[label]} "
+              "(the paper finds 4 for most variants)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""repro — reproduction of *High-Performance Filters for GPUs* (PPoPP 2023).
+
+The package provides:
+
+* :mod:`repro.core` — the paper's contribution: the Two-Choice Filter (TCF)
+  and the GPU Counting Quotient Filter (GQF), with point and bulk APIs;
+* :mod:`repro.baselines` — the comparison filters (Bloom, blocked Bloom,
+  SQF, RSQF, CPU CQF, CPU VQF);
+* :mod:`repro.gpusim` — the GPU execution-model simulator substituting for
+  CUDA hardware (device memory, atomics, cooperative groups, perf model);
+* :mod:`repro.hashing` — mixers, XORWOW generation, POTC and fingerprinting;
+* :mod:`repro.workloads` — microbenchmark and k-mer workload generators;
+* :mod:`repro.apps` — the MetaHipMer k-mer analysis and k-mer counting
+  applications;
+* :mod:`repro.analysis` — the benchmark harness that regenerates every table
+  and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import PointTCF
+    tcf = PointTCF.for_capacity(10_000)
+    tcf.insert(42)
+    assert 42 in tcf
+"""
+
+from .core import (
+    AbstractFilter,
+    BulkGQF,
+    BulkTCF,
+    FilterCapabilities,
+    FilterFullError,
+    PointGQF,
+    PointTCF,
+    TCFConfig,
+    UnsupportedOperationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbstractFilter",
+    "BulkGQF",
+    "BulkTCF",
+    "FilterCapabilities",
+    "FilterFullError",
+    "PointGQF",
+    "PointTCF",
+    "TCFConfig",
+    "UnsupportedOperationError",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Benchmark harness: regenerates every table and figure of the paper."""
+
+from . import adapters, api_matrix, figures, fpr, reporting, tables
+from .throughput import (
+    PHASE_DELETE,
+    PHASE_INSERT,
+    PHASE_POSITIVE,
+    PHASE_RANDOM,
+    STANDARD_PHASES,
+    BenchmarkPoint,
+    FilterAdapter,
+    measure_phases,
+    run_size_sweep,
+    single_point,
+    sweep_many,
+)
+
+__all__ = [
+    "adapters",
+    "api_matrix",
+    "figures",
+    "fpr",
+    "reporting",
+    "tables",
+    "PHASE_DELETE",
+    "PHASE_INSERT",
+    "PHASE_POSITIVE",
+    "PHASE_RANDOM",
+    "STANDARD_PHASES",
+    "BenchmarkPoint",
+    "FilterAdapter",
+    "measure_phases",
+    "run_size_sweep",
+    "single_point",
+    "sweep_many",
+]

@@ -1,0 +1,160 @@
+"""Drivers that regenerate the paper's figures (3, 4, 5 and 6).
+
+Each function returns plain data structures (lists of
+:class:`~repro.analysis.throughput.BenchmarkPoint` or dictionaries of
+series) that the ``benchmarks/`` harness prints in the same rows/series the
+paper plots.  Keeping the drivers inside the library means the examples and
+tests exercise exactly the code the benchmarks run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.tcf import FIGURE5_CG_SIZES, FIGURE5_VARIANTS, TCFConfig
+from ..gpusim.device import A100, V100, GPUSpec
+from . import adapters as adapter_registry
+from .throughput import (
+    DEFAULT_SIM_LG,
+    PHASE_DELETE,
+    PHASE_INSERT,
+    PHASE_POSITIVE,
+    PHASE_RANDOM,
+    STANDARD_PHASES,
+    BenchmarkPoint,
+    FilterAdapter,
+    run_size_sweep,
+    sweep_many,
+)
+
+#: Filter-size sweep used by Figures 3, 4 and 6 (log2 of the capacity).
+PAPER_SIZE_SWEEP: Tuple[int, ...] = (22, 24, 26, 28, 30)
+#: The two evaluation machines.
+PAPER_DEVICES: Tuple[GPUSpec, ...] = (V100, A100)
+
+
+# --------------------------------------------------------------------------
+# Figures 3 and 4: point / bulk API throughput vs filter size
+# --------------------------------------------------------------------------
+def figure3_point_api(
+    device: GPUSpec,
+    lg_capacities: Sequence[int] = PAPER_SIZE_SWEEP,
+    sim_lg: int = DEFAULT_SIM_LG,
+    n_queries: int = 2048,
+) -> Dict[str, List[BenchmarkPoint]]:
+    """Figure 3 (one device): point-API insert/positive/random throughput.
+
+    Returns ``{filter_key: [BenchmarkPoint per size]}`` for the TCF, GQF,
+    Bloom and blocked Bloom filters.
+    """
+    return sweep_many(
+        list(adapter_registry.point_api_adapters().values()),
+        device,
+        lg_capacities,
+        STANDARD_PHASES,
+        sim_lg,
+        n_queries,
+    )
+
+
+def figure4_bulk_api(
+    device: GPUSpec,
+    lg_capacities: Sequence[int] = PAPER_SIZE_SWEEP,
+    sim_lg: int = DEFAULT_SIM_LG,
+    n_queries: int = 2048,
+) -> Dict[str, List[BenchmarkPoint]]:
+    """Figure 4 (one device): bulk-API throughput for TCF/GQF/SQF/RSQF."""
+    return sweep_many(
+        list(adapter_registry.bulk_api_adapters().values()),
+        device,
+        lg_capacities,
+        STANDARD_PHASES,
+        sim_lg,
+        n_queries,
+    )
+
+
+# --------------------------------------------------------------------------
+# Figure 5: cooperative-group-size sweep over TCF variants
+# --------------------------------------------------------------------------
+def figure5_cg_sweep(
+    device: GPUSpec = V100,
+    lg_capacity: int = 28,
+    variants: Optional[Dict[str, TCFConfig]] = None,
+    cg_sizes: Sequence[int] = FIGURE5_CG_SIZES,
+    sim_lg: int = 11,
+    n_queries: int = 1024,
+) -> Dict[str, Dict[int, BenchmarkPoint]]:
+    """Figure 5: TCF throughput vs cooperative-group size per variant.
+
+    Returns ``{variant_label: {cg_size: BenchmarkPoint}}``; each benchmark
+    point carries insert, positive-query and random-query estimates for a
+    filter sized to ``2**lg_capacity``.
+    """
+    variants = variants if variants is not None else FIGURE5_VARIANTS
+    results: Dict[str, Dict[int, BenchmarkPoint]] = {}
+    for label, base_config in variants.items():
+        per_cg: Dict[int, BenchmarkPoint] = {}
+        for cg_size in cg_sizes:
+            config = base_config.with_cg_size(int(cg_size))
+            adapter = adapter_registry.point_tcf_adapter(config)
+            points = run_size_sweep(
+                adapter, device, [lg_capacity], STANDARD_PHASES, sim_lg, n_queries
+            )
+            per_cg[int(cg_size)] = points[0]
+        results[label] = per_cg
+    return results
+
+
+def figure5_optimal_cg(results: Dict[str, Dict[int, BenchmarkPoint]], phase: str = PHASE_INSERT) -> Dict[str, int]:
+    """The best cooperative-group size per variant (paper: 4 for most)."""
+    best: Dict[str, int] = {}
+    for label, per_cg in results.items():
+        best[label] = max(per_cg, key=lambda cg: per_cg[cg].throughput_bops(phase))
+    return best
+
+
+# --------------------------------------------------------------------------
+# Figure 6: deletion throughput
+# --------------------------------------------------------------------------
+def figure6_deletions(
+    device: GPUSpec = V100,
+    lg_capacities: Sequence[int] = PAPER_SIZE_SWEEP,
+    sim_lg: int = DEFAULT_SIM_LG,
+    n_queries: int = 2048,
+) -> Dict[str, List[BenchmarkPoint]]:
+    """Figure 6: deletion throughput of the bulk GQF, SQF and TCF.
+
+    The SQF series stops at 2^26 (its capacity limit), as in the paper.
+    """
+    phases = (PHASE_INSERT, PHASE_DELETE)
+    return sweep_many(
+        list(adapter_registry.deletion_adapters().values()),
+        device,
+        lg_capacities,
+        phases,
+        sim_lg,
+        n_queries,
+    )
+
+
+# --------------------------------------------------------------------------
+# headline-claim helpers (used by EXPERIMENTS.md and tests)
+# --------------------------------------------------------------------------
+def speedup_over(
+    results: Dict[str, List[BenchmarkPoint]],
+    numerator_key: str,
+    denominator_key: str,
+    phase: str,
+) -> List[float]:
+    """Per-size speed-up of one filter over another for a phase."""
+    num = {p.lg_capacity: p for p in results.get(numerator_key, [])}
+    den = {p.lg_capacity: p for p in results.get(denominator_key, [])}
+    out: List[float] = []
+    for lg in sorted(set(num) & set(den)):
+        denominator = den[lg].throughput_bops(phase)
+        if denominator > 0:
+            out.append(num[lg].throughput_bops(phase) / denominator)
+    return out

@@ -1,0 +1,93 @@
+"""Plain-text table/figure formatting for the benchmark harness.
+
+The benchmarks print their results in the same rows/series the paper
+reports.  Since the environment has no plotting stack, "figures" are rendered
+as aligned text tables (one row per filter size, one column per filter),
+which is sufficient to compare shapes and crossovers against the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .throughput import BenchmarkPoint
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.3f}",
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, bool):
+            return "yes" if cell else "-"
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        if cell is None:
+            return "-"
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in text_rows)) if text_rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in text_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def format_figure_series(
+    results: Mapping[str, List[BenchmarkPoint]],
+    phase: str,
+    title: str,
+    unit: str = "B ops/s",
+    scale: float = 1e-9,
+) -> str:
+    """Render one sub-figure (throughput vs size, one column per filter)."""
+    all_sizes = sorted({p.lg_capacity for series in results.values() for p in series})
+    filter_keys = list(results.keys())
+    headers = ["filter size (log2)"] + [
+        (results[k][0].display_name if results[k] else k) for k in filter_keys
+    ]
+    rows: List[List[object]] = []
+    for lg in all_sizes:
+        row: List[object] = [lg]
+        for key in filter_keys:
+            match = next((p for p in results[key] if p.lg_capacity == lg), None)
+            if match is None or phase not in match.estimates:
+                row.append(None)
+            else:
+                row.append(match.estimates[phase].throughput_ops_per_s * scale)
+        rows.append(row)
+    return format_table(headers, rows, title=f"{title} [{unit}]")
+
+
+def format_boolean_matrix(
+    matrix: Mapping[str, Mapping[str, bool]],
+    columns: Sequence[str],
+    title: str,
+) -> str:
+    """Render a capability matrix (Table 1)."""
+    headers = ["filter"] + list(columns)
+    rows = [[name] + [bool(row[c]) for c in columns] for name, row in matrix.items()]
+    return format_table(headers, rows, title=title)
+
+
+def format_dict_rows(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str],
+    title: str,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a list of dict rows with a fixed column order."""
+    table_rows = [[row.get(c) for c in columns] for row in rows]
+    return format_table(columns, table_rows, float_format=float_format, title=title)

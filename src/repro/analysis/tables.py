@@ -1,0 +1,305 @@
+"""Drivers that regenerate the paper's tables (1, 3, 4 and 5).
+
+Table 2 lives in :mod:`repro.analysis.fpr` and Table 1 in
+:mod:`repro.analysis.api_matrix`; this module covers the remaining two
+evaluation tables:
+
+* **Table 4** — CPU (CQF, VQF on KNL) vs GPU (point GQF, point TCF on V100)
+  throughput at a 2^28 filter size;
+* **Table 5** — GQF counting throughput for datasets with different count
+  distributions (UR, UR-count, Zipfian-count with and without the map-reduce
+  optimisation, and a k-mer dataset), across filter sizes 2^22…2^28.
+
+Table 3 (MetaHipMer memory) is produced by :mod:`repro.apps.metahipmer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.gqf import BulkGQF
+from ..core.gqf.regions import DEFAULT_REGION_SLOTS
+from ..gpusim.device import KNL, V100, GPUSpec
+from ..gpusim.perfmodel import estimate_time
+from ..gpusim.stats import StatsRecorder
+from ..hashing.fingerprints import FingerprintScheme
+from ..workloads import kmer as kmer_workloads
+from ..workloads.generators import (
+    CountingDataset,
+    uniform_count_dataset,
+    uniform_random_dataset,
+    zipfian_count_dataset,
+)
+from . import adapters as adapter_registry
+from .throughput import (
+    PHASE_INSERT,
+    PHASE_POSITIVE,
+    PHASE_RANDOM,
+    STANDARD_PHASES,
+    BenchmarkPoint,
+    single_point,
+)
+
+#: Sizes (log2) reported in Table 5.
+TABLE5_SIZES: Sequence[int] = (22, 24, 26, 28)
+#: Dataset columns of Table 5, in the paper's order.
+TABLE5_DATASETS: Sequence[str] = (
+    "UR",
+    "UR count",
+    "Zipfian count",
+    "Zipfian count (MR)",
+    "k-mer count",
+)
+
+
+# --------------------------------------------------------------------------
+# Table 4: CPU vs GPU
+# --------------------------------------------------------------------------
+#: Paper-reported Table 4 throughput (million ops/s) for reference columns.
+PAPER_TABLE4 = {
+    "CQF (CPU)": {"insert": 2.2, "positive_query": 320.9, "random_query": 368.0},
+    "GQF": {"insert": 129.7, "positive_query": 2118.4, "random_query": 3369.0},
+    "VQF (CPU)": {"insert": 247.2, "positive_query": 332.0, "random_query": 333.8},
+    "TCF": {"insert": 1273.8, "positive_query": 4340.9, "random_query": 1994.3},
+}
+
+
+def run_table4(
+    lg_capacity: int = 28,
+    sim_lg: int = 12,
+    n_queries: int = 2048,
+) -> List[Dict]:
+    """Table 4: aggregate throughput of CPU and GPU filter versions.
+
+    CPU filters are evaluated against the KNL device model, GPU filters
+    against the V100 (Cori), matching the paper's setup.  Returns one row per
+    filter with measured (modelled) and paper-reported M ops/s.
+    """
+    adapters = adapter_registry.cpu_vs_gpu_adapters()
+    devices = {
+        "cpu-cqf": KNL,
+        "cpu-vqf": KNL,
+        "gqf": V100,
+        "tcf": V100,
+    }
+    rows: List[Dict] = []
+    for key, adapter in adapters.items():
+        device = devices.get(key, V100)
+        point = single_point(adapter, device, lg_capacity, STANDARD_PHASES, sim_lg, n_queries)
+        paper = PAPER_TABLE4.get(adapter.display_name, {})
+        rows.append(
+            {
+                "filter": adapter.display_name,
+                "device": device.name,
+                "insert_mops": point.estimates[PHASE_INSERT].throughput_mops,
+                "positive_mops": point.estimates[PHASE_POSITIVE].throughput_mops,
+                "random_mops": point.estimates[PHASE_RANDOM].throughput_mops,
+                "paper_insert_mops": paper.get("insert"),
+                "paper_positive_mops": paper.get("positive_query"),
+                "paper_random_mops": paper.get("random_query"),
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------
+# Table 5: GQF counting throughput
+# --------------------------------------------------------------------------
+@dataclass
+class CountingResult:
+    """Counting-benchmark result for one (dataset, size) cell of Table 5."""
+
+    dataset: str
+    lg_capacity: int
+    throughput_mops: float
+    n_items: int
+    imbalance: float
+    aggregation_ratio: float
+
+
+def _dataset_for(name: str, n_items: int, seed: int = 0x7AB1E5) -> CountingDataset:
+    key = name.strip().lower()
+    if key == "ur":
+        return uniform_random_dataset(n_items, seed)
+    if key == "ur count":
+        return uniform_count_dataset(n_items, seed=seed)
+    if key in ("zipfian count", "zipfian count (mr)"):
+        return zipfian_count_dataset(n_items, seed=seed)
+    if key == "k-mer count":
+        return kmer_workloads.kmer_count_dataset(n_items, seed=seed)
+    raise ValueError(f"unknown Table 5 dataset {name!r}")
+
+
+def region_imbalance(
+    dataset: CountingDataset,
+    lg_capacity: int,
+    remainder_bits: int = 8,
+    region_slots: int = DEFAULT_REGION_SLOTS,
+    mapreduce: bool = False,
+) -> float:
+    """Work imbalance across even-odd regions at nominal scale.
+
+    Bulk-insert wall-clock time is set by the most loaded region thread, so
+    the throughput penalty relative to perfect balance is
+    ``max_region_items / mean_region_items``.  With map-reduce aggregation
+    the duplicates collapse first, removing the hot-region spike — this is
+    the mechanism behind the Zipfian vs Zipfian-MR gap in Table 5.
+    """
+    scheme = FingerprintScheme(lg_capacity, remainder_bits)
+    keys = dataset.distinct_keys if mapreduce else dataset.keys
+    if keys.size == 0:
+        return 1.0
+    quotients, _ = scheme.key_to_slot(np.asarray(keys, dtype=np.uint64))
+    n_regions = max(1, (1 << lg_capacity) // region_slots)
+    regions = np.asarray(quotients, dtype=np.int64) // region_slots
+    counts = np.bincount(regions, minlength=n_regions)
+    mean = keys.size / n_regions
+    if mean <= 0:
+        return 1.0
+    return float(max(1.0, counts.max() / mean))
+
+
+#: Per-insert cost of a single GPU thread performing dependent (latency
+#: bound) insertions into its region — used for the hot-region serial bound.
+SINGLE_THREAD_INSERT_S = 250e-9
+
+
+def hot_fraction(dataset: CountingDataset) -> float:
+    """Largest share of the total insertions owned by one distinct item.
+
+    For the truncated Zipf(1.5) distribution this is ~0.35-0.4 regardless of
+    the dataset size, which is why the non-aggregated Zipfian column of
+    Table 5 stays flat: one region thread performs that share of the batch
+    serially, no matter how large the filter is.
+    """
+    if dataset.n_items == 0 or dataset.counts.size == 0:
+        return 0.0
+    return float(dataset.counts.max() / dataset.n_items)
+
+
+def is_scale_free_skew(
+    dataset_name: str, sim_items: int, seed: int, growth_threshold: float = 1.5
+) -> bool:
+    """Detect whether a dataset's hot-item count grows with the dataset size.
+
+    The Zipfian dataset is *scale-free*: its most frequent item owns a fixed
+    share (~38 % at coefficient 1.5) of any dataset size, so the hot-region
+    serial work grows linearly with the batch.  The UR-count dataset is
+    *bounded*: counts never exceed 100 regardless of size, so duplication
+    never dominates a region.  The distinction is detected empirically by
+    generating the dataset at two sizes and comparing the hot counts.
+    """
+    small = _dataset_for(dataset_name, sim_items, seed)
+    large = _dataset_for(dataset_name, 2 * sim_items, seed + 1)
+    small_max = float(small.counts.max()) if small.counts.size else 1.0
+    large_max = float(large.counts.max()) if large.counts.size else 1.0
+    return large_max / max(1.0, small_max) >= growth_threshold
+
+
+def nominal_hot_count(
+    dataset: CountingDataset, nominal_items: int, scale_free: bool
+) -> float:
+    """Hot-item insertion count extrapolated to the nominal dataset size."""
+    if dataset.counts.size == 0:
+        return 0.0
+    if scale_free:
+        return hot_fraction(dataset) * nominal_items
+    return float(dataset.counts.max())
+
+
+def run_table5(
+    lg_capacities: Sequence[int] = TABLE5_SIZES,
+    datasets: Sequence[str] = TABLE5_DATASETS,
+    device: GPUSpec = V100,
+    sim_lg: int = 12,
+    fill_fraction: float = 0.85,
+    seed: int = 0x7AB1E5,
+) -> List[CountingResult]:
+    """Table 5: GQF bulk counting throughput per dataset and filter size.
+
+    For every cell the functional simulation bulk-inserts a scaled-down
+    version of the dataset into a GQF and the perf model scales the event
+    trace to the nominal dataset size.  The wall-clock estimate is the
+    maximum of (a) the balanced roofline estimate and (b) the *hot-region
+    serial bound*: the thread owning the most frequent item must perform all
+    of its insertions sequentially.  The serial bound is what keeps the
+    non-aggregated Zipfian column flat at a few M ops/s while every other
+    column scales with filter size; map-reduce aggregation collapses the hot
+    item to a single counted insert and removes the bound.
+    """
+    results: List[CountingResult] = []
+    sim_capacity = 1 << sim_lg
+    for dataset_name in datasets:
+        mapreduce = dataset_name.endswith("(MR)")
+        sim_items = int(fill_fraction * sim_capacity)
+        sim_dataset = _dataset_for(dataset_name, sim_items, seed)
+        scale_free = False if mapreduce else is_scale_free_skew(dataset_name, sim_items, seed)
+
+        recorder = StatsRecorder()
+        quotient_bits = sim_lg
+        gqf = BulkGQF(
+            quotient_bits,
+            8,
+            adapter_registry.SIM_REGION_SLOTS,
+            use_mapreduce=mapreduce,
+            recorder=recorder,
+        )
+        with recorder.section("counting") as stats:
+            gqf.bulk_insert(sim_dataset.keys)
+            stats.operations += int(sim_dataset.keys.size)
+        measurement = recorder.section_stats("counting")
+        skew = 0.0 if mapreduce else hot_fraction(sim_dataset)
+
+        for lg in lg_capacities:
+            nominal_capacity = 1 << lg
+            nominal_items = int(fill_fraction * nominal_capacity)
+            n_regions = max(1, nominal_capacity // DEFAULT_REGION_SLOTS)
+            estimate = estimate_time(
+                measurement,
+                n_ops=nominal_items,
+                device=device,
+                structure_bytes=BulkGQF.nominal_nbytes(nominal_capacity, 8),
+                active_threads=max(1, n_regions // 2),
+                simulated_ops=int(sim_dataset.keys.size),
+            )
+            hot_count = 0.0 if mapreduce else nominal_hot_count(
+                sim_dataset, nominal_items, scale_free
+            )
+            serial_bound = hot_count * SINGLE_THREAD_INSERT_S
+            time_s = max(estimate.time_s, serial_bound)
+            throughput = nominal_items / time_s / 1e6 if time_s > 0 else 0.0
+            results.append(
+                CountingResult(
+                    dataset=dataset_name,
+                    lg_capacity=lg,
+                    throughput_mops=throughput,
+                    n_items=nominal_items,
+                    imbalance=skew * n_regions if skew else 1.0,
+                    aggregation_ratio=1.0 - sim_dataset.n_distinct / max(1, sim_dataset.n_items),
+                )
+            )
+    return results
+
+
+def table5_as_grid(results: List[CountingResult]) -> Dict[int, Dict[str, float]]:
+    """Pivot Table 5 results into ``{lg_size: {dataset: M ops/s}}``."""
+    grid: Dict[int, Dict[str, float]] = {}
+    for result in results:
+        grid.setdefault(result.lg_capacity, {})[result.dataset] = result.throughput_mops
+    return grid
+
+
+#: Paper-reported Table 5 (Million operations/sec) for side-by-side reporting.
+PAPER_TABLE5 = {
+    22: {"UR": 25.318, "UR count": 30.763, "Zipfian count": 3.676,
+         "Zipfian count (MR)": 34.888, "k-mer count": 23.625},
+    24: {"UR": 101.804, "UR count": 110.833, "Zipfian count": 4.777,
+         "Zipfian count (MR)": 169.637, "k-mer count": 90.722},
+    26: {"UR": 321.150, "UR count": 350.824, "Zipfian count": 4.995,
+         "Zipfian count (MR)": 508.156, "k-mer count": 296.130},
+    28: {"UR": 566.038, "UR count": 798.353, "Zipfian count": 4.520,
+         "Zipfian count (MR)": 806.766, "k-mer count": 507.373},
+}

@@ -1,0 +1,341 @@
+"""Throughput benchmark harness (Figures 3-6, Tables 4-5).
+
+The harness separates *functional simulation* from *performance estimation*:
+
+1. a filter is built at a reduced **simulation scale** (a few thousand
+   slots), filled to the paper's recommended load factor and exercised for
+   each phase (inserts, positive queries, random queries, deletes) while the
+   stats recorder counts hardware events;
+2. the per-operation event averages are fed to
+   :func:`repro.gpusim.perfmodel.estimate_time` together with the **nominal**
+   experiment parameters (filter size 2^22…2^30, item count, structure
+   footprint, exposed parallelism) and the target
+   :class:`~repro.gpusim.device.GPUSpec`.
+
+This sampling approach keeps the pure-Python functional simulation tractable
+while preserving the performance-relevant behaviour: per-operation event
+counts are load-factor-dependent, not size-dependent, whereas L2 residency
+and thread saturation depend on the *nominal* size and are handled by the
+perf model.  The one paper experiment where the simulation scale is raised is
+the SQF/RSQF 2^26 capacity cliff, which is a hard limit enforced functionally
+(oversized configurations raise ``CapacityLimitError`` and the sweep simply
+stops, reproducing the truncated curves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.base import AbstractFilter
+from ..core.exceptions import FilterFullError
+from ..gpusim.device import GPUSpec
+from ..gpusim.perfmodel import PerfEstimate, estimate_time
+from ..gpusim.stats import KernelStats, StatsRecorder
+from ..workloads.generators import Workload, uniform_workload
+
+#: Default simulation scale: log2 of the number of slots actually built.
+DEFAULT_SIM_LG = 12
+#: Default number of queries simulated per phase.
+DEFAULT_SIM_QUERIES = 2048
+
+#: Phases measured for the point/bulk API benchmarks.
+PHASE_INSERT = "insert"
+PHASE_POSITIVE = "positive_query"
+PHASE_RANDOM = "random_query"
+PHASE_DELETE = "delete"
+STANDARD_PHASES = (PHASE_INSERT, PHASE_POSITIVE, PHASE_RANDOM)
+
+
+@dataclass
+class FilterAdapter:
+    """Uniform driver interface for one filter in the benchmark harness.
+
+    Attributes
+    ----------
+    key:
+        Short machine-readable identifier ("tcf", "gqf", "bf", ...).
+    display_name:
+        Name used in tables and figures.
+    api:
+        "point" or "bulk" — controls which benchmark family includes it and
+        whether phases run through the point loop or the bulk entry points.
+    build:
+        ``build(capacity, recorder) -> AbstractFilter`` at simulation scale.
+    nominal_bytes:
+        ``nominal_bytes(capacity) -> int`` footprint at nominal scale.
+    active_threads:
+        ``active_threads(phase, nominal_ops, nominal_capacity) -> int``.
+    load_factor:
+        Fill target for the insert phase.
+    lock_serialization:
+        Optional ``(phase, nominal_ops, nominal_capacity) -> float`` giving
+        the average number of threads contending per lock (point GQF).
+    warp_cycles:
+        Optional ``(phase) -> float`` returning the per-operation warp
+        scheduler cycles (cooperative-group block scans; see
+        :func:`repro.gpusim.perfmodel.cg_warp_cycles`).
+    max_lg_capacity:
+        Implementation limit on the filter size exponent (SQF/RSQF: 26).
+    supports_delete:
+        Whether the delete phase can be measured.
+    configure:
+        Optional hook called with the built filter and the nominal capacity
+        (used e.g. to set the point GQF's simulated concurrency).
+    """
+
+    key: str
+    display_name: str
+    api: str
+    build: Callable[[int, StatsRecorder], AbstractFilter]
+    nominal_bytes: Callable[[int], int]
+    active_threads: Callable[[str, int, int], int]
+    load_factor: float = 0.9
+    lock_serialization: Optional[Callable[[str, int, int], float]] = None
+    warp_cycles: Optional[Callable[[str], float]] = None
+    max_lg_capacity: Optional[int] = None
+    supports_delete: bool = False
+    configure: Optional[Callable[[AbstractFilter, int], None]] = None
+
+
+@dataclass
+class PhaseMeasurement:
+    """Raw functional-simulation result for one phase."""
+
+    phase: str
+    stats: KernelStats
+    simulated_ops: int
+
+
+@dataclass
+class BenchmarkPoint:
+    """One (filter, device, size) benchmark result.
+
+    ``estimates`` maps phase name to a :class:`PerfEstimate`; ``meta`` holds
+    bookkeeping such as the measured load factor and simulation scale.
+    """
+
+    filter_key: str
+    display_name: str
+    device: str
+    lg_capacity: int
+    estimates: Dict[str, PerfEstimate] = field(default_factory=dict)
+    meta: Dict[str, float] = field(default_factory=dict)
+
+    def throughput_bops(self, phase: str) -> float:
+        """Billions of operations per second for a phase (0 if missing)."""
+        est = self.estimates.get(phase)
+        return est.throughput_bops if est else 0.0
+
+
+# --------------------------------------------------------------------------
+# functional phase measurement
+# --------------------------------------------------------------------------
+def _fill_filter(
+    filt: AbstractFilter,
+    keys: np.ndarray,
+    bulk: bool,
+    recorder: StatsRecorder,
+) -> int:
+    """Insert keys (phase-scoped) until exhaustion or the filter fills."""
+    inserted = 0
+    with recorder.section(PHASE_INSERT) as stats:
+        try:
+            if bulk:
+                inserted = filt.bulk_insert(keys)
+            else:
+                for key in keys:
+                    filt.insert(int(key))
+                    inserted += 1
+        except FilterFullError:
+            pass
+        stats.operations += inserted
+    return inserted
+
+
+def _run_queries(
+    filt: AbstractFilter,
+    keys: np.ndarray,
+    phase: str,
+    bulk: bool,
+    recorder: StatsRecorder,
+) -> int:
+    with recorder.section(phase) as stats:
+        if bulk:
+            filt.bulk_query(keys)
+        else:
+            for key in keys:
+                filt.query(int(key))
+        stats.operations += int(keys.size)
+    return int(keys.size)
+
+
+def _run_deletes(
+    filt: AbstractFilter,
+    keys: np.ndarray,
+    bulk: bool,
+    recorder: StatsRecorder,
+) -> int:
+    removed = 0
+    with recorder.section(PHASE_DELETE) as stats:
+        if bulk:
+            removed = filt.bulk_delete(keys)
+        else:
+            for key in keys:
+                if filt.delete(int(key)):
+                    removed += 1
+        stats.operations += int(keys.size)
+    return removed
+
+
+def measure_phases(
+    adapter: FilterAdapter,
+    sim_capacity: int,
+    phases: Sequence[str] = STANDARD_PHASES,
+    n_queries: int = DEFAULT_SIM_QUERIES,
+    seed: int = 0xC0FFEE,
+) -> Dict[str, PhaseMeasurement]:
+    """Run the functional simulation of every requested phase.
+
+    Returns per-phase event counts.  The filter is filled once (the insert
+    phase) and then queried/deleted at full load, mirroring the paper's
+    microbenchmark methodology.
+    """
+    recorder = StatsRecorder()
+    filt = adapter.build(sim_capacity, recorder)
+    n_insert = max(64, int(adapter.load_factor * sim_capacity))
+    workload = uniform_workload(n_insert, min(n_queries, n_insert), seed)
+    bulk = adapter.api == "bulk"
+
+    inserted = _fill_filter(filt, workload.insert_keys, bulk, recorder)
+    measurements: Dict[str, PhaseMeasurement] = {}
+    measurements[PHASE_INSERT] = PhaseMeasurement(
+        PHASE_INSERT, recorder.section_stats(PHASE_INSERT).copy(), max(1, inserted)
+    )
+
+    if PHASE_POSITIVE in phases:
+        n = _run_queries(filt, workload.positive_queries, PHASE_POSITIVE, bulk, recorder)
+        measurements[PHASE_POSITIVE] = PhaseMeasurement(
+            PHASE_POSITIVE, recorder.section_stats(PHASE_POSITIVE).copy(), n
+        )
+    if PHASE_RANDOM in phases:
+        n = _run_queries(filt, workload.random_queries, PHASE_RANDOM, bulk, recorder)
+        measurements[PHASE_RANDOM] = PhaseMeasurement(
+            PHASE_RANDOM, recorder.section_stats(PHASE_RANDOM).copy(), n
+        )
+    if PHASE_DELETE in phases and adapter.supports_delete:
+        delete_keys = workload.insert_keys[:inserted][: n_queries]
+        n = _run_deletes(filt, delete_keys, bulk, recorder)
+        measurements[PHASE_DELETE] = PhaseMeasurement(
+            PHASE_DELETE, recorder.section_stats(PHASE_DELETE).copy(), max(1, int(delete_keys.size))
+        )
+
+    # Record the achieved load factor for reporting.
+    measurements[PHASE_INSERT].stats.operations = max(1, inserted)
+    return measurements
+
+
+# --------------------------------------------------------------------------
+# perf-model evaluation
+# --------------------------------------------------------------------------
+def evaluate_point(
+    adapter: FilterAdapter,
+    measurements: Dict[str, PhaseMeasurement],
+    device: GPUSpec,
+    lg_capacity: int,
+) -> BenchmarkPoint:
+    """Convert phase measurements into nominal-scale throughput estimates."""
+    nominal_capacity = 1 << lg_capacity
+    nominal_ops = max(1, int(adapter.load_factor * nominal_capacity))
+    structure_bytes = adapter.nominal_bytes(nominal_capacity)
+    point = BenchmarkPoint(
+        filter_key=adapter.key,
+        display_name=adapter.display_name,
+        device=device.name,
+        lg_capacity=lg_capacity,
+        meta={"structure_bytes": float(structure_bytes)},
+    )
+    for phase, measurement in measurements.items():
+        phase_ops = nominal_ops
+        threads = adapter.active_threads(phase, phase_ops, nominal_capacity)
+        serialization = (
+            adapter.lock_serialization(phase, phase_ops, nominal_capacity)
+            if adapter.lock_serialization
+            else 0.0
+        )
+        warp_cycles = adapter.warp_cycles(phase) if adapter.warp_cycles else 0.0
+        estimate = estimate_time(
+            measurement.stats,
+            n_ops=phase_ops,
+            device=device,
+            structure_bytes=structure_bytes,
+            active_threads=threads,
+            simulated_ops=measurement.simulated_ops,
+            lock_serialization=serialization,
+            warp_cycles_per_op=warp_cycles,
+        )
+        point.estimates[phase] = estimate
+    return point
+
+
+def run_size_sweep(
+    adapter: FilterAdapter,
+    device: GPUSpec,
+    lg_capacities: Iterable[int],
+    phases: Sequence[str] = STANDARD_PHASES,
+    sim_lg: int = DEFAULT_SIM_LG,
+    n_queries: int = DEFAULT_SIM_QUERIES,
+    seed: int = 0xC0FFEE,
+) -> List[BenchmarkPoint]:
+    """Figure 3/4 style sweep: throughput vs filter size for one filter.
+
+    The functional simulation runs once (at ``2**sim_lg`` capacity) and the
+    perf model is evaluated for every nominal size; sizes beyond the filter's
+    implementation limit (SQF/RSQF) are skipped, reproducing the truncated
+    curves in the paper's figures.
+    """
+    lg_list = sorted(set(int(x) for x in lg_capacities))
+    sim_capacity = 1 << min(sim_lg, min(lg_list))
+    measurements = measure_phases(adapter, sim_capacity, phases, n_queries, seed)
+    results: List[BenchmarkPoint] = []
+    for lg in lg_list:
+        if adapter.max_lg_capacity is not None and lg > adapter.max_lg_capacity:
+            continue
+        results.append(evaluate_point(adapter, measurements, device, lg))
+    return results
+
+
+def sweep_many(
+    adapters: Sequence[FilterAdapter],
+    device: GPUSpec,
+    lg_capacities: Iterable[int],
+    phases: Sequence[str] = STANDARD_PHASES,
+    sim_lg: int = DEFAULT_SIM_LG,
+    n_queries: int = DEFAULT_SIM_QUERIES,
+) -> Dict[str, List[BenchmarkPoint]]:
+    """Run :func:`run_size_sweep` for several filters; keyed by adapter key."""
+    return {
+        adapter.key: run_size_sweep(adapter, device, lg_capacities, phases, sim_lg, n_queries)
+        for adapter in adapters
+    }
+
+
+def single_point(
+    adapter: FilterAdapter,
+    device: GPUSpec,
+    lg_capacity: int,
+    phases: Sequence[str] = STANDARD_PHASES,
+    sim_lg: int = DEFAULT_SIM_LG,
+    n_queries: int = DEFAULT_SIM_QUERIES,
+) -> BenchmarkPoint:
+    """Convenience wrapper: one filter at one nominal size (Table 4)."""
+    results = run_size_sweep(
+        adapter, device, [lg_capacity], phases, sim_lg, n_queries
+    )
+    if not results:
+        raise ValueError(
+            f"{adapter.display_name} cannot be sized to 2^{lg_capacity}"
+        )
+    return results[0]

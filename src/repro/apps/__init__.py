@@ -1,0 +1,26 @@
+"""Applications built on the filters: MetaHipMer k-mer analysis and k-mer counting."""
+
+from .kmer_counter import GPUKmerCounter, KmerCountReport
+from .metahipmer import (
+    HASH_TABLE_ENTRY_BYTES,
+    KmerAnalysisPhase,
+    KmerAnalysisResult,
+    SimpleKmerHashTable,
+    dataset_kmer_statistics,
+    memory_reduction,
+    run_table3,
+    run_table3_row,
+)
+
+__all__ = [
+    "GPUKmerCounter",
+    "KmerCountReport",
+    "HASH_TABLE_ENTRY_BYTES",
+    "KmerAnalysisPhase",
+    "KmerAnalysisResult",
+    "SimpleKmerHashTable",
+    "dataset_kmer_statistics",
+    "memory_reduction",
+    "run_table3",
+    "run_table3_row",
+]

@@ -1,0 +1,24 @@
+"""Baseline filters the paper compares against.
+
+GPU baselines: the Bloom filter (BF), the blocked Bloom filter (BBF,
+WarpCore-style), and Geil et al.'s standard and rank-select quotient filters
+(SQF, RSQF).  CPU baselines (Table 4): the counting quotient filter (CQF) and
+the vector quotient filter (VQF) on KNL.
+"""
+
+from .blocked_bloom import BlockedBloomFilter
+from .bloom import BloomFilter
+from .cpu_cqf import KNL_THREADS, CPUCountingQuotientFilter
+from .cpu_vqf import CPUVectorQuotientFilter
+from .rsqf import RankSelectQuotientFilter
+from .sqf import StandardQuotientFilter
+
+__all__ = [
+    "BlockedBloomFilter",
+    "BloomFilter",
+    "KNL_THREADS",
+    "CPUCountingQuotientFilter",
+    "CPUVectorQuotientFilter",
+    "RankSelectQuotientFilter",
+    "StandardQuotientFilter",
+]

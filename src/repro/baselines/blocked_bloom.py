@@ -1,0 +1,234 @@
+"""Blocked Bloom filter baseline (WarpCore-style).
+
+A blocked Bloom filter is a series of tiny Bloom filters, each sized to one
+GPU cache line (128 bytes = 1024 bits).  The first hash selects the block;
+the remaining hashes set/test bits *inside* that block, so every operation is
+a single cache-line transaction plus ``k`` cheap atomic ORs — the best
+possible fit to the GPU design principles of Section 3.
+
+The price is accuracy: concentrating an item's bits in one line raises the
+false-positive rate by roughly 5-6x over a standard Bloom filter with the
+same bits per item (Table 2 reports 1 % vs 0.15 % at 10.1/9.73 BPI), and the
+filter still supports neither deletes nor counts.  The paper takes the
+implementation from Jünger et al.'s WarpCore and tunes it per the authors'
+recommendation; this reproduction follows the same layout.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.base import AbstractFilter, FilterCapabilities
+from ..core.exceptions import UnsupportedOperationError
+from ..gpusim.atomics import atomic_or
+from ..gpusim.kernel import KernelContext, point_launch
+from ..gpusim.memory import DeviceArray
+from ..gpusim.stats import StatsRecorder
+from ..hashing.mixers import hash_with_seed, murmur64_mix
+
+#: One block spans a GPU cache line: 128 bytes = 1024 bits = 32 uint32 words.
+BLOCK_BITS = 1024
+BLOCK_WORDS = BLOCK_BITS // 32
+
+#: Bits per item used in the paper's evaluation (Table 2).
+PAPER_BITS_PER_ITEM = 9.73
+#: Number of in-block hash functions used in the paper's evaluation.
+PAPER_NUM_HASHES = 7
+
+
+class BlockedBloomFilter(AbstractFilter):
+    """Cache-line-blocked Bloom filter with a point API.
+
+    Parameters
+    ----------
+    n_blocks:
+        Number of 1024-bit blocks.
+    n_hashes:
+        Number of bits set/tested inside the selected block.
+    recorder:
+        Optional stats recorder.
+    """
+
+    name = "BBF"
+
+    def __init__(
+        self,
+        n_blocks: int,
+        n_hashes: int = PAPER_NUM_HASHES,
+        recorder: Optional[StatsRecorder] = None,
+    ) -> None:
+        super().__init__(recorder)
+        if n_blocks <= 0:
+            raise ValueError("n_blocks must be positive")
+        if n_hashes <= 0:
+            raise ValueError("n_hashes must be positive")
+        self.n_blocks = int(n_blocks)
+        self.n_hashes = int(n_hashes)
+        self.words = DeviceArray(
+            self.n_blocks * BLOCK_WORDS, np.uint32, self.recorder, name="bbf-bits"
+        )
+        self._n_items = 0
+        self.kernels = KernelContext(self.recorder)
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def for_capacity(
+        cls,
+        n_items: int,
+        bits_per_item: float = PAPER_BITS_PER_ITEM,
+        n_hashes: int = PAPER_NUM_HASHES,
+        recorder: Optional[StatsRecorder] = None,
+    ) -> "BlockedBloomFilter":
+        n_bits = max(BLOCK_BITS, int(np.ceil(n_items * bits_per_item)))
+        n_blocks = (n_bits + BLOCK_BITS - 1) // BLOCK_BITS
+        return cls(n_blocks, n_hashes, recorder)
+
+    @classmethod
+    def capabilities(cls) -> FilterCapabilities:
+        return FilterCapabilities(
+            point_insert=True,
+            bulk_insert=True,
+            point_query=True,
+            bulk_query=True,
+            point_delete=False,
+            bulk_delete=False,
+            point_count=False,
+            bulk_count=False,
+            values=False,
+            resizable=False,
+        )
+
+    @classmethod
+    def nominal_nbytes(cls, n_items: int, bits_per_item: float = PAPER_BITS_PER_ITEM) -> int:
+        return int(np.ceil(n_items * bits_per_item / 8.0))
+
+    # ------------------------------------------------------------------- sizes
+    @property
+    def n_bits(self) -> int:
+        return self.n_blocks * BLOCK_BITS
+
+    @property
+    def capacity(self) -> int:
+        return int(self.n_bits / PAPER_BITS_PER_ITEM)
+
+    @property
+    def n_slots(self) -> int:
+        return self.n_bits
+
+    @property
+    def nbytes(self) -> int:
+        return self.n_bits // 8
+
+    @property
+    def n_items(self) -> int:
+        return self._n_items
+
+    @property
+    def load_factor(self) -> float:
+        return self._n_items / max(1, self.capacity)
+
+    @property
+    def recommended_load_factor(self) -> float:
+        return 1.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        """Analytical blocked-Bloom FP rate at the current fill.
+
+        All of an item's bits land in one 64-bit lane, so the relevant unit
+        is the lane: the FP rate is the Poisson-weighted average of per-lane
+        Bloom FP rates.  Lanes that happen to receive more items than average
+        dominate, which is the source of the several-fold penalty over the
+        flat Bloom filter that Table 2 reports.
+        """
+        if self._n_items == 0:
+            return 0.0
+        from scipy import stats as sp_stats
+
+        n_lanes = self.n_blocks * (BLOCK_BITS // 64)
+        lam = self._n_items / n_lanes
+        k = self.n_hashes
+        max_n = int(lam + 10 * np.sqrt(lam) + 10)
+        ns = np.arange(0, max_n)
+        weights = sp_stats.poisson.pmf(ns, lam)
+        per_lane = (1.0 - np.exp(-k * ns / 64.0)) ** k
+        return float(np.sum(weights * per_lane))
+
+    # ---------------------------------------------------------------- probing
+    def _block_and_bits(self, key: int) -> tuple[int, np.ndarray]:
+        """Select the cache-line block, a 64-bit lane inside it, and k bits.
+
+        Following the WarpCore design the paper takes its BBF from, all ``k``
+        bits of an item land in a single 64-bit word of the selected block:
+        this makes the insert a single atomic OR, but concentrates the item's
+        bits so much that the false-positive rate rises by several times over
+        a flat Bloom filter with the same bits per item (Table 2).
+        """
+        key = np.uint64(int(key) & 0xFFFFFFFFFFFFFFFF)
+        mixed = int(murmur64_mix(key))
+        block = mixed % self.n_blocks
+        lane = (mixed >> 32) % (BLOCK_BITS // 64)
+        bits = np.empty(self.n_hashes, dtype=np.int64)
+        for seed in range(self.n_hashes):
+            bits[seed] = lane * 64 + int(hash_with_seed(key, seed + 101)) % 64
+        return block, bits
+
+    # ------------------------------------------------------------------ point API
+    def insert(self, key: int, value: int = 0) -> bool:
+        """Set ``k`` bits inside one cache-line block (one line touched)."""
+        if value:
+            raise UnsupportedOperationError("blocked Bloom filters cannot store values")
+        block, bits = self._block_and_bits(key)
+        base = block * BLOCK_WORDS
+        # One coalesced read of the block, then k atomics within the line.
+        self.words.read_range(base, base + BLOCK_WORDS)
+        touched_words = np.unique(bits // 32)
+        for word in touched_words:
+            mask = np.uint32(0)
+            for bit in bits[bits // 32 == word]:
+                mask |= np.uint32(1) << np.uint32(int(bit) % 32)
+            atomic_or(self.words, base + int(word), mask)
+        self._n_items += 1
+        return True
+
+    def query(self, key: int) -> bool:
+        """Test ``k`` bits inside one block (single cache-line read)."""
+        block, bits = self._block_and_bits(key)
+        base = block * BLOCK_WORDS
+        words = self.words.read_range(base, base + BLOCK_WORDS)
+        for bit in bits:
+            word = int(bit) // 32
+            if not (int(words[word]) >> (int(bit) % 32)) & 1:
+                return False
+        return True
+
+    def delete(self, key: int) -> bool:
+        raise UnsupportedOperationError("blocked Bloom filters do not support deletion")
+
+    def count(self, key: int) -> int:
+        raise UnsupportedOperationError("blocked Bloom filters do not support counting")
+
+    def get_value(self, key: int) -> Optional[int]:
+        raise UnsupportedOperationError("blocked Bloom filters cannot store values")
+
+    # ---------------------------------------------------------------- bulk API
+    def bulk_insert(self, keys: Sequence[int], values: Optional[Sequence[int]] = None) -> int:
+        keys = np.asarray(keys, dtype=np.uint64)
+        with self.kernels.launch("bbf_bulk_insert", point_launch(keys.size, 1)):
+            for key in keys:
+                self.insert(int(key))
+        return int(keys.size)
+
+    def bulk_query(self, keys: Sequence[int]) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.uint64)
+        out = np.zeros(keys.size, dtype=bool)
+        with self.kernels.launch("bbf_bulk_query", point_launch(keys.size, 1)):
+            for i, key in enumerate(keys):
+                out[i] = self.query(int(key))
+        return out
+
+    # ---------------------------------------------------------------- analysis
+    def active_threads_for(self, n_ops: int) -> int:
+        return n_ops

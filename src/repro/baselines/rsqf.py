@@ -1,0 +1,202 @@
+"""Geil et al.'s rank-select quotient filter (RSQF) on the GPU — baseline.
+
+The RSQF variant replaces the three per-slot metadata bits of the standard
+quotient filter with two bit vectors (occupieds/runends) navigated with
+rank/select over 64-bit blocks, exactly like the CQF's metadata.  Geil et
+al.'s GPU implementation has excellent *query* performance — the metadata is
+compact, so small filters fit entirely in L2 — but ships **no optimised
+insert kernel**: inserts run essentially serially and top out around 8
+million items/s, three orders of magnitude slower than the other filters
+(Figure 4).  It also supports neither deletes nor counting and inherits the
+SQF's 2^26-item limit.
+
+The reproduction mirrors those properties: the same
+:class:`~repro.core.gqf.layout.QuotientFilterCore` provides the structure,
+queries are bulk and parallel, and the insert path reports a serialised
+launch geometry so the performance model reproduces the paper's three-orders
+-of-magnitude insert gap.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.base import AbstractFilter, FilterCapabilities
+from ..core.exceptions import CapacityLimitError, UnsupportedOperationError
+from ..core.gqf.layout import QuotientFilterCore
+from ..gpusim.kernel import KernelContext, LaunchConfig, point_launch
+from ..gpusim.stats import StatsRecorder
+from ..hashing.fingerprints import FingerprintScheme
+from .sqf import MAX_FINGERPRINT_BITS, SUPPORTED_REMAINDERS
+
+
+class RankSelectQuotientFilter(AbstractFilter):
+    """Geil et al.'s GPU rank-select quotient filter (bulk insert/query only).
+
+    Parameters
+    ----------
+    quotient_bits:
+        log2 of the slot count; limited so that ``q + r <= 31``.
+    remainder_bits:
+        5 or 13 (the RSQF shares the SQF's packing constraints).
+    recorder:
+        Optional stats recorder.
+    """
+
+    name = "RSQF"
+
+    def __init__(
+        self,
+        quotient_bits: int,
+        remainder_bits: int = 5,
+        recorder: Optional[StatsRecorder] = None,
+    ) -> None:
+        super().__init__(recorder)
+        if remainder_bits not in SUPPORTED_REMAINDERS:
+            raise CapacityLimitError(
+                f"the RSQF only supports remainders {SUPPORTED_REMAINDERS}, got {remainder_bits}"
+            )
+        if quotient_bits + remainder_bits > MAX_FINGERPRINT_BITS:
+            raise CapacityLimitError(
+                "the RSQF cannot be sized beyond 2^26 items (q + r <= 31)"
+            )
+        self.scheme = FingerprintScheme(quotient_bits, remainder_bits)
+        self.core = QuotientFilterCore(
+            quotient_bits,
+            remainder_bits,
+            self.recorder,
+            counting=False,
+            name="rsqf-slots",
+        )
+        self.kernels = KernelContext(self.recorder)
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def for_capacity(
+        cls,
+        n_items: int,
+        remainder_bits: int = 5,
+        recorder: Optional[StatsRecorder] = None,
+    ) -> "RankSelectQuotientFilter":
+        quotient_bits = max(3, int(np.ceil(np.log2(max(8, n_items) / 0.9))))
+        return cls(quotient_bits, remainder_bits, recorder)
+
+    @classmethod
+    def capabilities(cls) -> FilterCapabilities:
+        return FilterCapabilities(
+            point_insert=False,
+            bulk_insert=True,
+            point_query=False,
+            bulk_query=True,
+            point_delete=False,
+            bulk_delete=False,
+            point_count=False,
+            bulk_count=False,
+            values=False,
+            resizable=False,
+        )
+
+    @classmethod
+    def nominal_nbytes(cls, n_slots: int, remainder_bits: int = 5) -> int:
+        """Remainder bits + 2.125 metadata bits per slot (RSQF packing)."""
+        return int(np.ceil(n_slots * (remainder_bits + 2.125) / 8.0))
+
+    # ------------------------------------------------------------------- sizes
+    @property
+    def capacity(self) -> int:
+        return int(self.core.n_canonical_slots * self.recommended_load_factor)
+
+    @property
+    def n_slots(self) -> int:
+        return self.core.n_canonical_slots
+
+    @property
+    def nbytes(self) -> int:
+        return self.core.nbytes
+
+    @property
+    def n_items(self) -> int:
+        return self.core.total_count
+
+    @property
+    def n_occupied_slots(self) -> int:
+        return self.core.n_occupied_slots
+
+    @property
+    def load_factor(self) -> float:
+        return self.core.load_factor
+
+    @property
+    def recommended_load_factor(self) -> float:
+        return 0.9
+
+    @property
+    def false_positive_rate(self) -> float:
+        return 2.0 ** (-self.scheme.remainder_bits)
+
+    # ---------------------------------------------------------------- bulk API
+    def bulk_insert(self, keys: Sequence[int], values: Optional[Sequence[int]] = None) -> int:
+        """Unoptimised insert path: items are inserted one after another.
+
+        The authors provide no parallel insert kernel, so the launch exposes
+        a single worker; the performance model therefore reports the
+        ~8 M items/s ceiling the paper measures.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        if keys.size == 0:
+            return 0
+        fingerprints = self.scheme.hash_key(keys)
+        quotients, remainders = self.scheme.split(fingerprints)
+        with self.kernels.launch(
+            "rsqf_serial_insert", LaunchConfig(n_work_items=1, threads_per_item=32)
+        ):
+            for i in range(keys.size):
+                self.core.insert_fingerprint(int(quotients[i]), int(remainders[i]), 1)
+        return int(keys.size)
+
+    def bulk_query(self, keys: Sequence[int]) -> np.ndarray:
+        """Parallel bulk query (one thread per item, rank/select navigation)."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        out = np.zeros(keys.size, dtype=bool)
+        if keys.size == 0:
+            return out
+        fingerprints = self.scheme.hash_key(keys)
+        quotients, remainders = self.scheme.split(fingerprints)
+        with self.kernels.launch("rsqf_bulk_query", point_launch(keys.size, 1)):
+            for i in range(keys.size):
+                out[i] = self.core.query_fingerprint(int(quotients[i]), int(remainders[i])) > 0
+        return out
+
+    # ------------------------------------------------------------------ point API
+    def insert(self, key: int, value: int = 0) -> bool:
+        raise UnsupportedOperationError("the RSQF has no point-insert API (bulk only)")
+
+    def query(self, key: int) -> bool:
+        """Host-side single query (for tests; not a device API)."""
+        quotient, remainder = self.scheme.key_to_slot(np.uint64(int(key) & 0xFFFFFFFFFFFFFFFF))
+        return self.core.query_fingerprint(int(quotient), int(remainder)) > 0
+
+    def delete(self, key: int) -> bool:
+        raise UnsupportedOperationError(
+            "the RSQF design could support deletes but the authors do not implement them"
+        )
+
+    def count(self, key: int) -> int:
+        raise UnsupportedOperationError("the RSQF does not support counting")
+
+    def get_value(self, key: int) -> Optional[int]:
+        raise UnsupportedOperationError("the RSQF cannot store values")
+
+    def bulk_delete(self, keys: Sequence[int]) -> int:
+        raise UnsupportedOperationError(
+            "the RSQF design could support deletes but the authors do not implement them"
+        )
+
+    # ---------------------------------------------------------------- analysis
+    def active_threads_for(self, n_ops: int, phase: str = "insert") -> int:
+        """Inserts are serialised; queries expose one thread per item."""
+        if phase == "insert":
+            return 32
+        return n_ops

@@ -1,0 +1,30 @@
+"""Core contribution of the paper: the TCF and GQF GPU filters."""
+
+from .base import AbstractFilter, FilterCapabilities
+from .exceptions import (
+    CapacityLimitError,
+    ConcurrencyError,
+    DeletionError,
+    FilterError,
+    FilterFullError,
+    UnsupportedOperationError,
+)
+from .gqf import BulkGQF, PointGQF, QuotientFilterCore
+from .tcf import BulkTCF, PointTCF, TCFConfig
+
+__all__ = [
+    "AbstractFilter",
+    "FilterCapabilities",
+    "CapacityLimitError",
+    "ConcurrencyError",
+    "DeletionError",
+    "FilterError",
+    "FilterFullError",
+    "UnsupportedOperationError",
+    "BulkGQF",
+    "PointGQF",
+    "QuotientFilterCore",
+    "BulkTCF",
+    "PointTCF",
+    "TCFConfig",
+]

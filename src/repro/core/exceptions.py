@@ -1,0 +1,51 @@
+"""Exceptions raised by the filters in this reproduction."""
+
+from __future__ import annotations
+
+
+class FilterError(Exception):
+    """Base class for every filter-specific error."""
+
+
+class FilterFullError(FilterError):
+    """Raised when an insert cannot find space.
+
+    For the TCF this means both candidate blocks *and* the backing table are
+    full; for quotient-filter variants it means the structure exceeded its
+    maximum recommended load factor and ran out of slots (including the
+    overflow slack at the end of the table).
+    """
+
+
+class CapacityLimitError(FilterError):
+    """Raised when a filter is configured beyond an implementation limit.
+
+    Geil et al.'s SQF/RSQF can only be sized up to 2^26 slots because they
+    pack quotient+remainder into 32 bits; we reproduce those limits and raise
+    this error when they are exceeded.
+    """
+
+
+class UnsupportedOperationError(FilterError):
+    """Raised when an operation is not supported by a filter design.
+
+    Examples: deleting from a Bloom filter, counting with a cuckoo-style
+    filter, point-inserting into a bulk-only filter (SQF/RSQF).
+    """
+
+
+class DeletionError(FilterError):
+    """Raised when a delete targets an item the filter cannot find.
+
+    Deleting a never-inserted item from a filter that stores fingerprints is
+    unsafe (it can remove another item's fingerprint); the filters surface
+    this instead of corrupting state silently.
+    """
+
+
+class ConcurrencyError(FilterError):
+    """Raised when the simulated locking protocol is violated.
+
+    For example, acquiring a GQF region lock that the same simulated thread
+    already holds, or releasing a lock that is not held.
+    """

@@ -1,0 +1,25 @@
+"""GPU Counting Quotient Filter (GQF) and its building blocks."""
+
+from . import counters
+from .bulk_gqf import BulkGQF
+from .layout import DEFAULT_SLACK_SLOTS, METADATA_BITS_PER_SLOT, QuotientFilterCore
+from .mapreduce import aggregate_batch, aggregation_ratio
+from .point_gqf import PointGQF
+from .rank_select import Bitvector, popcount64, select64
+from .regions import DEFAULT_REGION_SLOTS, RegionPartition
+
+__all__ = [
+    "counters",
+    "BulkGQF",
+    "DEFAULT_SLACK_SLOTS",
+    "METADATA_BITS_PER_SLOT",
+    "QuotientFilterCore",
+    "aggregate_batch",
+    "aggregation_ratio",
+    "PointGQF",
+    "Bitvector",
+    "popcount64",
+    "select64",
+    "DEFAULT_REGION_SLOTS",
+    "RegionPartition",
+]

@@ -1,0 +1,200 @@
+"""Variable-sized counter encoding for the counting quotient filter.
+
+The CQF (and therefore the GQF) stores the multiplicity of a repeated
+fingerprint *in line*, inside the same remainder slots that hold the
+fingerprints, using a variable-length encoding.  This is what gives the
+counting quotient filter its asymptotically optimal space even on highly
+skewed multisets: an item occurring ``C`` times costs
+:math:`O(\\log_{2^r} C)` extra slots, not ``C`` slots.
+
+Encoding used here (equivalent in structure and asymptotics to Pandey et
+al.'s scheme; the digit alphabet is chosen for a clean, unambiguous
+specification and documented deviations are noted in DESIGN.md):
+
+* remainders within a run are kept in ascending order;
+* an item with remainder ``x`` and count ``C`` is encoded as
+
+  ===========  ==========================================================
+  ``C == 1``   ``[x]``
+  ``C == 2``   ``[x, x]``
+  ``C >= 3``   ``[x, d_0, ..., d_{k-1}, x]`` with every digit ``d_i < x``
+               and the digits encoding ``C - 3`` in base ``x``
+               (most-significant digit first)
+  ===========  ==========================================================
+
+* remainders ``0`` and ``1`` cannot host digits (no smaller values exist),
+  so they fall back to unary: ``C`` copies of the remainder.  Such tiny
+  remainders occur with probability :math:`2^{1-r}`, so the space impact is
+  negligible for the 8/16/32/64-bit remainders the GQF supports.
+
+Decoding is unambiguous: scanning a run left to right, a value smaller than
+the current remainder can only be a counter digit (run order is ascending),
+and the counter is terminated by the next occurrence of the remainder
+itself.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+#: Remainder values that use unary encoding because they cannot host digits.
+UNARY_REMAINDERS = (0, 1)
+
+
+def slots_for_count(remainder: int, count: int) -> int:
+    """Number of slots the encoding of ``(remainder, count)`` occupies."""
+    return len(encode_item(remainder, count))
+
+
+def encode_item(remainder: int, count: int) -> List[int]:
+    """Encode one ``(remainder, count)`` pair into a list of slot values."""
+    remainder = int(remainder)
+    count = int(count)
+    if count <= 0:
+        raise ValueError("count must be positive")
+    if remainder < 0:
+        raise ValueError("remainder must be non-negative")
+    if remainder in UNARY_REMAINDERS:
+        return [remainder] * count
+    if count == 1:
+        return [remainder]
+    if count == 2:
+        return [remainder, remainder]
+    # count >= 3: digits of (count - 3) in base `remainder`, MSD first.
+    value = count - 3
+    digits: List[int] = []
+    if value == 0:
+        digits = [0]
+    else:
+        while value > 0:
+            digits.append(value % remainder)
+            value //= remainder
+        digits.reverse()
+    return [remainder] + digits + [remainder]
+
+
+def encode_run(items: Sequence[Tuple[int, int]]) -> List[int]:
+    """Encode a whole run (list of ``(remainder, count)`` pairs).
+
+    The items are sorted by remainder before encoding, matching the run
+    invariant; duplicate remainders are merged by summing their counts.
+    """
+    merged: dict[int, int] = {}
+    for remainder, count in items:
+        if count <= 0:
+            raise ValueError("counts must be positive")
+        merged[int(remainder)] = merged.get(int(remainder), 0) + int(count)
+    out: List[int] = []
+    for remainder in sorted(merged):
+        out.extend(encode_item(remainder, merged[remainder]))
+    return out
+
+
+def decode_run(slots: Iterable[int]) -> List[Tuple[int, int]]:
+    """Decode a run's slot values back into ``(remainder, count)`` pairs.
+
+    Raises ``ValueError`` on malformed encodings (e.g. an unterminated
+    counter), which the property tests rely on to catch corruption.
+    """
+    values = [int(v) for v in slots]
+    items: List[Tuple[int, int]] = []
+    i = 0
+    n = len(values)
+    while i < n:
+        x = values[i]
+        if x in UNARY_REMAINDERS:
+            count = 1
+            i += 1
+            while i < n and values[i] == x:
+                count += 1
+                i += 1
+            items.append((x, count))
+            continue
+        # Look ahead to classify.
+        if i + 1 >= n or values[i + 1] > x:
+            items.append((x, 1))
+            i += 1
+            continue
+        if values[i + 1] == x:
+            items.append((x, 2))
+            i += 2
+            continue
+        # values[i+1] < x: counter digits until the closing x.
+        j = i + 1
+        digits: List[int] = []
+        while j < n and values[j] < x:
+            digits.append(values[j])
+            j += 1
+        if j >= n or values[j] != x:
+            raise ValueError(
+                f"malformed counter encoding for remainder {x}: missing terminator"
+            )
+        value = 0
+        for digit in digits:
+            value = value * x + digit
+        items.append((x, value + 3))
+        i = j + 1
+    # Verify the run invariant (ascending remainders).
+    remainders = [rem for rem, _ in items]
+    if remainders != sorted(remainders):
+        raise ValueError("decoded run is not in ascending remainder order")
+    return items
+
+
+def run_length(items: Sequence[Tuple[int, int]]) -> int:
+    """Total number of slots the encoded run occupies."""
+    return len(encode_run(items))
+
+
+def increment(items: List[Tuple[int, int]], remainder: int, delta: int = 1) -> List[Tuple[int, int]]:
+    """Return a new item list with ``remainder``'s count increased by ``delta``.
+
+    Appends the remainder with count ``delta`` if it was not present.
+    """
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    out: List[Tuple[int, int]] = []
+    found = False
+    for rem, count in items:
+        if rem == remainder:
+            out.append((rem, count + delta))
+            found = True
+        else:
+            out.append((rem, count))
+    if not found:
+        out.append((int(remainder), int(delta)))
+    out.sort(key=lambda rc: rc[0])
+    return out
+
+
+def decrement(items: List[Tuple[int, int]], remainder: int, delta: int = 1) -> Tuple[List[Tuple[int, int]], bool]:
+    """Decrease ``remainder``'s count by ``delta`` (removing it at zero).
+
+    Returns ``(new_items, found)``.  ``found`` is False when the remainder
+    was not present, in which case the items are returned unchanged.
+    """
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    out: List[Tuple[int, int]] = []
+    found = False
+    for rem, count in items:
+        if rem == remainder and not found:
+            found = True
+            new_count = count - delta
+            if new_count > 0:
+                out.append((rem, new_count))
+        else:
+            out.append((rem, count))
+    return out, found
+
+
+def max_count_single_slot(remainder_bits: int) -> int:
+    """Largest count representable before the encoding needs extra slots.
+
+    The paper notes the GQF counts "smaller than the maximum value in a GQF
+    slot (256 for an 8-bit slot)" are the cheap case; this helper exposes
+    that threshold for tests and documentation.
+    """
+    return 1 << remainder_bits

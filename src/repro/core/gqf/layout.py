@@ -1,0 +1,463 @@
+"""Core counting-quotient-filter machinery shared by the GQF, SQF and CQF.
+
+A quotient filter stores, for every inserted item, an ``r``-bit remainder in
+an array of :math:`2^q` slots.  The remainder is placed as close as possible
+to its *canonical slot* (the ``q``-bit quotient), using Robin-Hood linear
+probing; two metadata bit vectors, ``occupieds`` and ``runends``, record
+which canonical slots own a *run* and where each run ends.  Contiguous runs
+with no empty slot between them form a *cluster*: an insert at the start of a
+cluster must shift every following slot of the cluster one position right,
+which is the cost the GQF's sorted/bulk insertion strategies are designed to
+avoid.
+
+:class:`QuotientFilterCore` implements the full functional data structure —
+including the in-slot variable-length counters from
+:mod:`~repro.core.gqf.counters` — together with hardware-event accounting.
+The point GQF adds region locking on top; the bulk GQF adds the even-odd
+phased insertion; the SQF/RSQF/CQF baselines reuse the same core with
+different configuration and cost models.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...gpusim.memory import DeviceArray
+from ...gpusim.stats import StatsRecorder
+from ...hashing.fingerprints import FingerprintScheme
+from ..exceptions import FilterFullError
+from . import counters
+from .rank_select import Bitvector
+
+#: Extra slots appended after the 2^q canonical slots so that runs near the
+#: end of the table can shift past it (the reference CQF does the same).
+DEFAULT_SLACK_SLOTS = 1024
+
+#: Metadata bits per slot: occupieds + runends (+ the per-block offset byte
+#: of the packed representation, amortised).  Used for logical space
+#: accounting, matching the paper's ~2.125 bits/slot overhead figure.
+METADATA_BITS_PER_SLOT = 2.125
+
+
+def _dtype_for_remainder(remainder_bits: int) -> np.dtype:
+    """Smallest machine dtype that holds an ``r``-bit remainder."""
+    if remainder_bits <= 8:
+        return np.dtype(np.uint8)
+    if remainder_bits <= 16:
+        return np.dtype(np.uint16)
+    if remainder_bits <= 32:
+        return np.dtype(np.uint32)
+    return np.dtype(np.uint64)
+
+
+class QuotientFilterCore:
+    """Functional counting quotient filter with hardware-event accounting.
+
+    Parameters
+    ----------
+    quotient_bits:
+        log2 of the number of canonical slots.
+    remainder_bits:
+        Width of the stored remainder (sets the false-positive rate ~2^-r).
+    recorder:
+        Stats recorder for simulated hardware events.
+    counting:
+        When True (GQF/CQF), duplicate fingerprints are collapsed into
+        in-slot variable-length counters; when False (SQF/RSQF-style), each
+        duplicate occupies its own slot.
+    slack_slots:
+        Overflow slots appended after the canonical region.
+    slot_metadata_packed:
+        When True, the remainder and its 3 metadata bits share one machine
+        word (the SQF layout with 5/13-bit remainders); affects only space
+        accounting.
+    name:
+        Label for the device allocation.
+    """
+
+    def __init__(
+        self,
+        quotient_bits: int,
+        remainder_bits: int,
+        recorder: StatsRecorder,
+        counting: bool = True,
+        slack_slots: Optional[int] = None,
+        slot_metadata_packed: bool = False,
+        name: str = "qf-core",
+    ) -> None:
+        if quotient_bits < 3 or quotient_bits > 40:
+            raise ValueError("quotient_bits must be in [3, 40]")
+        if remainder_bits < 1 or remainder_bits > 64:
+            raise ValueError("remainder_bits must be in [1, 64]")
+        self.quotient_bits = int(quotient_bits)
+        self.remainder_bits = int(remainder_bits)
+        self.recorder = recorder
+        self.counting = bool(counting)
+        self.scheme = FingerprintScheme(quotient_bits, min(remainder_bits, 64 - quotient_bits) if quotient_bits + remainder_bits > 64 else remainder_bits)
+        self.n_canonical_slots = 1 << self.quotient_bits
+        if slack_slots is None:
+            # Enough overflow room for the longest cluster, without dominating
+            # the footprint of small (test-scale) tables.
+            slack_slots = min(DEFAULT_SLACK_SLOTS, max(64, self.n_canonical_slots // 8))
+        self.total_slots = self.n_canonical_slots + int(slack_slots)
+        self.slot_metadata_packed = bool(slot_metadata_packed)
+        self.slots = DeviceArray(
+            self.total_slots,
+            _dtype_for_remainder(remainder_bits),
+            recorder,
+            fill=0,
+            name=name,
+        )
+        self.occupieds = Bitvector(self.total_slots)
+        self.runends = Bitvector(self.total_slots)
+        self.slot_used = Bitvector(self.total_slots)
+        self._n_distinct = 0
+        self._total_count = 0
+
+    # ---------------------------------------------------------------- metrics
+    @property
+    def n_slots(self) -> int:
+        """Canonical slot count (2^q)."""
+        return self.n_canonical_slots
+
+    @property
+    def n_occupied_slots(self) -> int:
+        """Physical slots currently in use (including counter slots)."""
+        return self.slot_used.count()
+
+    @property
+    def load_factor(self) -> float:
+        return self.n_occupied_slots / self.n_canonical_slots
+
+    @property
+    def n_distinct_items(self) -> int:
+        """Number of distinct fingerprints stored."""
+        return self._n_distinct
+
+    @property
+    def total_count(self) -> int:
+        """Sum of all stored counts (multiset cardinality)."""
+        return self._total_count
+
+    @property
+    def slot_bytes(self) -> int:
+        return int(self.slots.itemsize)
+
+    @property
+    def nbytes(self) -> int:
+        """Logical packed footprint: r bits + ~2.125 metadata bits per slot."""
+        bits_per_slot = self.remainder_bits + METADATA_BITS_PER_SLOT
+        if self.slot_metadata_packed:
+            bits_per_slot = self.slot_bytes * 8  # metadata already inside the word
+        return int(np.ceil(self.total_slots * bits_per_slot / 8.0))
+
+    # ------------------------------------------------------------- accounting
+    def _slot_lines(self, n_slots_touched: int) -> int:
+        """Cache lines covered by ``n_slots_touched`` contiguous slots."""
+        if n_slots_touched <= 0:
+            return 0
+        return int(np.ceil(n_slots_touched * self.slot_bytes / 128.0)) or 1
+
+    def _account(self, read_slots: int = 0, write_slots: int = 0, metadata_lines: int = 1,
+                 shifted: int = 0) -> None:
+        self.recorder.add(
+            cache_line_reads=self._slot_lines(read_slots) + metadata_lines,
+            cache_line_writes=self._slot_lines(write_slots) + (metadata_lines if write_slots else 0),
+            slots_shifted=shifted,
+            instructions=4 + read_slots + write_slots,
+        )
+
+    # ---------------------------------------------------------- run navigation
+    def run_interval(self, quotient: int) -> Tuple[int, int]:
+        """Return the inclusive ``[start, end]`` slot range of ``quotient``'s run.
+
+        Requires ``occupieds[quotient]`` to be set.
+        """
+        if not self.occupieds.get(quotient):
+            raise ValueError(f"quotient {quotient} has no run")
+        t = self.occupieds.rank(quotient)
+        run_end = self.runends.select(t)
+        if run_end is None:
+            raise RuntimeError("runends/occupieds invariant violated")
+        if t == 1:
+            prev_end = -1
+        else:
+            prev_end = self.runends.select(t - 1)
+            if prev_end is None:
+                raise RuntimeError("runends/occupieds invariant violated")
+        run_start = max(quotient, prev_end + 1)
+        return run_start, run_end
+
+    def new_run_position(self, quotient: int) -> int:
+        """Slot where a new run for ``quotient`` would begin."""
+        t = self.occupieds.rank(quotient)
+        if t == 0:
+            return quotient
+        prev_end = self.runends.select(t)
+        if prev_end is None:
+            raise RuntimeError("runends/occupieds invariant violated")
+        return max(quotient, prev_end + 1)
+
+    def cluster_bounds(self, position: int) -> Tuple[int, int]:
+        """Inclusive bounds of the cluster (maximal used region) containing
+        ``position`` (which must be a used slot)."""
+        if not self.slot_used.get(position):
+            raise ValueError(f"slot {position} is not in use")
+        prev_unused = self.slot_used.prev_unset(position)
+        cstart = 0 if prev_unused is None else prev_unused + 1
+        next_unused = self.slot_used.next_unset(position)
+        cend = self.total_slots - 1 if next_unused is None else next_unused - 1
+        return cstart, cend
+
+    # -------------------------------------------------------------- shifting
+    def _first_unused(self, start: int) -> int:
+        pos = self.slot_used.next_unset(start)
+        if pos is None:
+            raise FilterFullError("quotient filter has no free slots left")
+        return pos
+
+    def _shift_right_one(self, pos: int) -> int:
+        """Open one slot at ``pos`` by shifting the cluster tail right.
+
+        Returns the number of slots moved.
+        """
+        u = self._first_unused(pos)
+        moved = u - pos
+        if moved > 0:
+            segment = self.slots.read_range(pos, u)
+            self.slots.write_range(pos + 1, segment)
+            self.runends.shift_right_one(pos, u)
+        self.slot_used.set(u, True)
+        self.recorder.add(slots_shifted=moved)
+        return moved
+
+    def _shift_right(self, pos: int, delta: int) -> int:
+        """Open ``delta`` slots starting at ``pos``; returns slots moved."""
+        moved = 0
+        for i in range(delta):
+            moved += self._shift_right_one(pos + i)
+        return moved
+
+    # ------------------------------------------------------------ run (de)code
+    def _read_run(self, run_start: int, run_end: int) -> List[Tuple[int, int]]:
+        values = self.slots.read_range(run_start, run_end + 1)
+        if self.counting:
+            return counters.decode_run(values.tolist())
+        return [(int(v), 1) for v in values.tolist()]
+
+    def _encode_items(self, items: Sequence[Tuple[int, int]]) -> List[int]:
+        if self.counting:
+            return counters.encode_run(items)
+        out: List[int] = []
+        for rem, count in sorted(items, key=lambda rc: rc[0]):
+            out.extend([int(rem)] * int(count))
+        return out
+
+    # ------------------------------------------------------------------ insert
+    def insert_fingerprint(self, quotient: int, remainder: int, count: int = 1) -> None:
+        """Insert ``count`` occurrences of a fingerprint.
+
+        Raises :class:`FilterFullError` when the table has no free slots.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if not 0 <= quotient < self.n_canonical_slots:
+            raise ValueError("quotient out of range")
+        if remainder >= (1 << self.remainder_bits):
+            raise ValueError("remainder wider than remainder_bits")
+
+        was_present = False
+        if self.occupieds.get(quotient):
+            run_start, run_end = self.run_interval(quotient)
+            items = self._read_run(run_start, run_end)
+            was_present = any(rem == remainder for rem, _ in items)
+            if self.counting:
+                new_items = counters.increment(items, remainder, count)
+            else:
+                new_items = items + [(int(remainder), 1)] * count
+            old_len = run_end - run_start + 1
+        else:
+            run_start = self.new_run_position(quotient)
+            items = []
+            new_items = [(int(remainder), int(count))] if self.counting else [
+                (int(remainder), 1)
+            ] * count
+            old_len = 0
+
+        encoded = self._encode_items(new_items)
+        new_len = len(encoded)
+        delta = new_len - old_len
+        shifted = 0
+        if delta > 0:
+            shifted = self._shift_right(run_start + old_len, delta)
+        elif delta < 0:
+            raise RuntimeError("insert can never shrink a run")
+
+        self.slots.write_range(run_start, np.asarray(encoded, dtype=self.slots.data.dtype))
+        for offset in range(new_len):
+            self.slot_used.set(run_start + offset, True)
+        if old_len > 0:
+            self.runends.clear(run_start + old_len - 1)
+        self.runends.set(run_start + new_len - 1, True)
+        self.occupieds.set(quotient, True)
+
+        # Two metadata bit vectors (occupieds and runends) are read and
+        # updated on every insert, in addition to the remainder slots.
+        self._account(
+            read_slots=old_len,
+            write_slots=new_len + shifted,
+            metadata_lines=2,
+            shifted=shifted,
+        )
+        if not was_present:
+            self._n_distinct += 1
+        self._total_count += count
+
+    # ------------------------------------------------------------------- query
+    def query_fingerprint(self, quotient: int, remainder: int) -> int:
+        """Return the stored count of a fingerprint (0 when absent)."""
+        if not self.occupieds.get(quotient):
+            self._account(read_slots=0, metadata_lines=1)
+            return 0
+        run_start, run_end = self.run_interval(quotient)
+        items = self._read_run(run_start, run_end)
+        self._account(read_slots=run_end - run_start + 1, metadata_lines=1)
+        if self.counting:
+            for rem, count in items:
+                if rem == remainder:
+                    return count
+            return 0
+        return sum(1 for rem, _ in items if rem == remainder)
+
+    # ------------------------------------------------------------------ delete
+    def delete_fingerprint(self, quotient: int, remainder: int, count: int = 1) -> bool:
+        """Remove ``count`` occurrences of a fingerprint.
+
+        Returns False (and changes nothing) when the fingerprint is absent.
+        The whole cluster containing the run is re-canonicalised, which both
+        removes the slots and lets trailing runs slide back towards their
+        canonical positions (the left-shifting the paper describes for
+        deletes).
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if not self.occupieds.get(quotient):
+            self._account(metadata_lines=1)
+            return False
+        run_start, run_end = self.run_interval(quotient)
+        cstart, cend = self.cluster_bounds(run_start)
+        cluster_len = cend - cstart + 1
+
+        # Decode every run in the cluster, in quotient order.
+        runs: List[Tuple[int, List[Tuple[int, int]]]] = []
+        pos = cstart
+        for q in self.occupieds.set_positions(cstart, cend + 1):
+            rend = self.runends.next_set(pos)
+            if rend is None or rend > cend:
+                raise RuntimeError("cluster decoding ran past its bounds")
+            runs.append((int(q), self._read_run(pos, rend)))
+            pos = rend + 1
+        if pos != cend + 1:
+            raise RuntimeError("cluster decoding did not cover the cluster")
+
+        # Remove the requested occurrences.
+        found = False
+        removed_exactly = 0
+        new_runs: List[Tuple[int, List[Tuple[int, int]]]] = []
+        for q, items in runs:
+            if q == quotient and not found:
+                if self.counting:
+                    present = next((c for r, c in items if r == remainder), 0)
+                    if present:
+                        found = True
+                        removed_exactly = min(count, present)
+                        items, _ = counters.decrement(items, remainder, removed_exactly)
+                else:
+                    present = sum(1 for r, _ in items if r == remainder)
+                    if present:
+                        found = True
+                        removed_exactly = min(count, present)
+                        kept: List[Tuple[int, int]] = []
+                        to_remove = removed_exactly
+                        for r, c in items:
+                            if r == remainder and to_remove > 0:
+                                to_remove -= 1
+                            else:
+                                kept.append((r, c))
+                        items = kept
+            new_runs.append((q, items))
+        if not found:
+            self._account(read_slots=cluster_len, metadata_lines=1)
+            return False
+
+        # Re-write the cluster from scratch with canonical placement.
+        self.slot_used.clear_range(cstart, cend + 1)
+        self.runends.clear_range(cstart, cend + 1)
+        write_slots = 0
+        pos = cstart
+        for q, items in new_runs:
+            if not items:
+                self.occupieds.clear(q)
+                continue
+            start = max(q, pos)
+            encoded = self._encode_items(items)
+            self.slots.write_range(start, np.asarray(encoded, dtype=self.slots.data.dtype))
+            for offset in range(len(encoded)):
+                self.slot_used.set(start + offset, True)
+            self.runends.set(start + len(encoded) - 1, True)
+            self.occupieds.set(q, True)
+            write_slots += len(encoded)
+            pos = start + len(encoded)
+
+        self._account(
+            read_slots=cluster_len,
+            write_slots=write_slots,
+            metadata_lines=2,
+            shifted=cluster_len,
+        )
+        item_gone = self.query_fingerprint(quotient, remainder) == 0
+        if item_gone:
+            self._n_distinct -= 1
+        self._total_count -= removed_exactly
+        return True
+
+    # --------------------------------------------------------------- iterate
+    def iter_fingerprints(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(quotient, remainder, count)`` for every stored item.
+
+        Host-side enumeration (used for resize / merge and by tests); does
+        not count device traffic.
+        """
+        for quotient in np.flatnonzero(self.occupieds.bits):
+            run_start, run_end = self.run_interval(int(quotient))
+            values = self.slots.peek()[run_start : run_end + 1]
+            if self.counting:
+                items = counters.decode_run(values.tolist())
+            else:
+                items = [(int(v), 1) for v in values.tolist()]
+            for remainder, count in items:
+                yield int(quotient), int(remainder), int(count)
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if the metadata invariants are violated.
+
+        Used heavily by the test suite: every occupied quotient has exactly
+        one runend, runs are within bounds, used slots are exactly the slots
+        covered by runs, and every run decodes cleanly.
+        """
+        n_runs = 0
+        covered = np.zeros(self.total_slots, dtype=bool)
+        for quotient in np.flatnonzero(self.occupieds.bits):
+            run_start, run_end = self.run_interval(int(quotient))
+            assert run_start >= int(quotient), "run starts before its canonical slot"
+            assert run_end >= run_start, "empty run interval"
+            assert self.runends.get(run_end), "run does not end on a runend bit"
+            values = self.slots.peek()[run_start : run_end + 1]
+            if self.counting:
+                counters.decode_run(values.tolist())
+            covered[run_start : run_end + 1] = True
+            n_runs += 1
+        assert n_runs == self.runends.count(), "occupieds/runends count mismatch"
+        assert np.array_equal(covered, self.slot_used.bits), "slot_used does not match run coverage"

@@ -1,0 +1,296 @@
+"""Point (device-side, per-item) API of the GPU counting quotient filter.
+
+Every point insert acquires two cache-aligned region locks — the region that
+owns the item's canonical slot and the next one — performs the Robin-Hood
+insertion (which may shift remainders within the locked window), flushes, and
+releases the locks.  Queries and counts are lock-free reads.
+
+Locking is the GQF's dominant point-insert cost: with ~80 K active threads
+and only ``n_slots / 8192`` locks, small filters thrash badly (the paper
+observes the GPU Bloom filter out-inserting the GQF for exactly this reason).
+The simulated thread concurrency is configurable via :meth:`set_concurrency`
+so the benchmark harness can expose that contention to the perf model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ...gpusim.atomics import SpinLockTable
+from ...gpusim.kernel import KernelContext, point_launch
+from ...gpusim.stats import StatsRecorder
+from ...hashing.fingerprints import FingerprintScheme
+from ..base import AbstractFilter, FilterCapabilities
+from ..exceptions import FilterFullError
+from .layout import QuotientFilterCore
+from .regions import DEFAULT_REGION_SLOTS, RegionPartition
+
+
+class PointGQF(AbstractFilter):
+    """GPU counting quotient filter with a device-side point API.
+
+    Parameters
+    ----------
+    quotient_bits:
+        log2 of the number of canonical slots.
+    remainder_bits:
+        Remainder width; the GQF supports the machine-word-aligned widths
+        8, 16, 32 and 64 (8 gives the paper's ~0.19 % false-positive rate).
+    region_slots:
+        Locking-region size (8192 in the paper; smaller values are useful for
+        unit tests).
+    recorder:
+        Optional stats recorder.
+    """
+
+    name = "GQF"
+    SUPPORTED_REMAINDERS = (8, 16, 32, 64)
+
+    def __init__(
+        self,
+        quotient_bits: int,
+        remainder_bits: int = 8,
+        region_slots: int = DEFAULT_REGION_SLOTS,
+        recorder: Optional[StatsRecorder] = None,
+        enforce_alignment: bool = True,
+    ) -> None:
+        super().__init__(recorder)
+        if enforce_alignment and remainder_bits not in self.SUPPORTED_REMAINDERS:
+            raise ValueError(
+                f"the GQF supports word-aligned remainders {self.SUPPORTED_REMAINDERS}, "
+                f"got {remainder_bits}"
+            )
+        self.scheme = FingerprintScheme(quotient_bits, remainder_bits)
+        self.core = QuotientFilterCore(
+            quotient_bits, remainder_bits, self.recorder, counting=True, name="gqf-slots"
+        )
+        self.partition = RegionPartition(self.core.n_canonical_slots, region_slots)
+        self.locks = SpinLockTable(
+            self.partition.n_regions + 1,
+            self.recorder,
+            cache_aligned=True,
+        )
+        self.kernels = KernelContext(self.recorder)
+        self._active_threads = 0
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def for_capacity(
+        cls,
+        n_items: int,
+        remainder_bits: int = 8,
+        recorder: Optional[StatsRecorder] = None,
+    ) -> "PointGQF":
+        quotient_bits = max(3, int(np.ceil(np.log2(max(8, n_items) / 0.95))))
+        return cls(quotient_bits, remainder_bits, recorder=recorder)
+
+    @classmethod
+    def capabilities(cls) -> FilterCapabilities:
+        return FilterCapabilities(
+            point_insert=True,
+            bulk_insert=True,
+            point_query=True,
+            bulk_query=True,
+            point_delete=True,
+            bulk_delete=True,
+            point_count=True,
+            bulk_count=True,
+            values=True,
+            resizable=True,
+        )
+
+    @classmethod
+    def nominal_nbytes(cls, n_slots: int, remainder_bits: int = 8) -> int:
+        """Footprint for ``n_slots`` canonical slots without building a filter."""
+        bits = n_slots * (remainder_bits + 2.125)
+        return int(np.ceil(bits / 8.0))
+
+    # ------------------------------------------------------------------- sizes
+    @property
+    def capacity(self) -> int:
+        return int(self.core.n_canonical_slots * self.recommended_load_factor)
+
+    @property
+    def n_slots(self) -> int:
+        return self.core.n_canonical_slots
+
+    @property
+    def nbytes(self) -> int:
+        return self.core.nbytes + self.locks.nbytes
+
+    @property
+    def n_items(self) -> int:
+        return self.core.n_distinct_items
+
+    @property
+    def total_count(self) -> int:
+        return self.core.total_count
+
+    @property
+    def n_occupied_slots(self) -> int:
+        return self.core.n_occupied_slots
+
+    @property
+    def load_factor(self) -> float:
+        return self.core.load_factor
+
+    @property
+    def recommended_load_factor(self) -> float:
+        return 0.95
+
+    @property
+    def false_positive_rate(self) -> float:
+        return 2.0 ** (-self.scheme.remainder_bits)
+
+    # -------------------------------------------------------------- concurrency
+    def set_concurrency(self, active_threads: int) -> None:
+        """Tell the simulator how many device threads run point ops concurrently.
+
+        Determines the lock-contention probability (threads competing for
+        ``n_regions`` locks) that the performance model charges for.
+        """
+        self._active_threads = max(0, int(active_threads))
+        if self._active_threads and self.partition.n_regions:
+            per_lock = self._active_threads / self.partition.n_regions
+            probability = min(0.95, per_lock / (per_lock + 8.0))
+        else:
+            probability = 0.0
+        self.locks.contention_probability = probability
+
+    @property
+    def lock_serialization(self) -> float:
+        """Average number of competing threads per lock (for the perf model)."""
+        if not self._active_threads:
+            return 0.0
+        return min(
+            64.0, self._active_threads / max(1, self.partition.n_regions)
+        )
+
+    # ------------------------------------------------------------------ point API
+    def insert(self, key: int, value: int = 0) -> bool:
+        """Insert one occurrence of ``key``.
+
+        ``value`` (if non-zero) is stored by re-purposing the counter, the
+        same mechanism applications like Mantis use with the CQF.
+        """
+        return self._insert_count(key, max(1, int(value)))
+
+    def insert_count(self, key: int, count: int) -> bool:
+        """Insert ``count`` occurrences of ``key`` in one locked operation."""
+        return self._insert_count(key, count)
+
+    def _insert_count(self, key: int, count: int) -> bool:
+        quotient, remainder = self.scheme.key_to_slot(np.uint64(int(key) & 0xFFFFFFFFFFFFFFFF))
+        quotient, remainder = int(quotient), int(remainder)
+        lock_a, lock_b = self.partition.locks_for_insert(quotient)
+        self.locks.lock(lock_a)
+        if lock_b != lock_a:
+            self.locks.lock(lock_b)
+        try:
+            self.core.insert_fingerprint(quotient, remainder, count)
+        finally:
+            if lock_b != lock_a:
+                self.locks.unlock(lock_b)
+            self.locks.unlock(lock_a)
+        return True
+
+    def query(self, key: int) -> bool:
+        return self.count(key) > 0
+
+    def count(self, key: int) -> int:
+        quotient, remainder = self.scheme.key_to_slot(np.uint64(int(key) & 0xFFFFFFFFFFFFFFFF))
+        return self.core.query_fingerprint(int(quotient), int(remainder))
+
+    def get_value(self, key: int) -> Optional[int]:
+        """Return the value stored via the counter, or None when absent."""
+        count = self.count(key)
+        return count if count > 0 else None
+
+    def delete(self, key: int) -> bool:
+        quotient, remainder = self.scheme.key_to_slot(np.uint64(int(key) & 0xFFFFFFFFFFFFFFFF))
+        quotient, remainder = int(quotient), int(remainder)
+        lock_a, lock_b = self.partition.locks_for_insert(quotient)
+        self.locks.lock(lock_a)
+        if lock_b != lock_a:
+            self.locks.lock(lock_b)
+        try:
+            return self.core.delete_fingerprint(quotient, remainder, 1)
+        finally:
+            if lock_b != lock_a:
+                self.locks.unlock(lock_b)
+            self.locks.unlock(lock_a)
+
+    # ---------------------------------------------------------------- bulk API
+    def bulk_insert(self, keys: Sequence[int], values: Optional[Sequence[int]] = None) -> int:
+        """Point-style batched insert (one cooperative thread per item)."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        if values is None:
+            values = np.zeros(keys.size, dtype=np.uint64)
+        inserted = 0
+        with self.kernels.launch("gqf_point_bulk_insert", point_launch(keys.size, 1)):
+            for key, value in zip(keys, values):
+                if self.insert(int(key), int(value)):
+                    inserted += 1
+        return inserted
+
+    def bulk_query(self, keys: Sequence[int]) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.uint64)
+        out = np.zeros(keys.size, dtype=bool)
+        with self.kernels.launch("gqf_point_bulk_query", point_launch(keys.size, 1)):
+            for i, key in enumerate(keys):
+                out[i] = self.query(int(key))
+        return out
+
+    def bulk_count(self, keys: Sequence[int]) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.uint64)
+        out = np.zeros(keys.size, dtype=np.int64)
+        with self.kernels.launch("gqf_point_bulk_count", point_launch(keys.size, 1)):
+            for i, key in enumerate(keys):
+                out[i] = self.count(int(key))
+        return out
+
+    def bulk_delete(self, keys: Sequence[int]) -> int:
+        keys = np.asarray(keys, dtype=np.uint64)
+        removed = 0
+        with self.kernels.launch("gqf_point_bulk_delete", point_launch(keys.size, 1)):
+            for key in keys:
+                if self.delete(int(key)):
+                    removed += 1
+        return removed
+
+    # ------------------------------------------------------------------ resize
+    def resized(self, extra_quotient_bits: int = 1) -> "PointGQF":
+        """Return a filter with ``2**extra_quotient_bits`` times the slots.
+
+        The quotient filter's resizability comes from keeping the total
+        fingerprint width ``p = q + r`` fixed and moving bits from the
+        remainder to the quotient: every stored ``p``-bit fingerprint is
+        enumerated and re-split under the larger quotient, so membership and
+        counts are preserved exactly (and the false-positive rate improves
+        slightly per item because the load factor drops).
+        """
+        if extra_quotient_bits < 1:
+            raise ValueError("resize must grow the filter")
+        if self.scheme.remainder_bits - extra_quotient_bits < 1:
+            raise ValueError("not enough remainder bits to donate to the quotient")
+        new_q = self.scheme.quotient_bits + extra_quotient_bits
+        new_r = self.scheme.remainder_bits - extra_quotient_bits
+        bigger = PointGQF(
+            new_q,
+            new_r,
+            self.partition.region_slots,
+            recorder=self.recorder,
+            enforce_alignment=False,
+        )
+        for quotient, remainder, count in self.core.iter_fingerprints():
+            fingerprint = self.scheme.join(quotient, remainder)
+            new_quotient, new_remainder = bigger.scheme.split(int(fingerprint))
+            bigger.core.insert_fingerprint(int(new_quotient), int(new_remainder), count)
+        return bigger
+
+    # ---------------------------------------------------------------- analysis
+    def active_threads_for(self, n_ops: int) -> int:
+        """Point kernels map one thread per item."""
+        return n_ops

@@ -1,0 +1,201 @@
+"""Bit vectors with rank/select support for quotient-filter metadata.
+
+Quotient filters store two metadata bits per slot (``occupieds`` and
+``runends``) and navigate between canonical slots and run boundaries with
+rank and select:
+
+* ``rank(B, i)``   — number of set bits in ``B[0..i]`` (inclusive);
+* ``select(B, k)`` — position of the ``k``-th set bit (1-indexed).
+
+:class:`Bitvector` is the workhorse used by the GQF/SQF/CQF cores; it keeps
+its bits in a NumPy boolean array so rank/select are vectorised, and can
+import/export packed 64-bit words.  The module also provides the word-level
+primitives (``popcount64``, ``select64``) that the RSQF baseline uses for its
+block-local offsets, mirroring the x86 ``popcnt``/``pdep`` tricks of the CPU
+implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def popcount64(words: np.ndarray | int) -> np.ndarray | int:
+    """Population count of 64-bit words (vectorised)."""
+    scalar = not isinstance(words, np.ndarray)
+    w = np.atleast_1d(np.asarray(words, dtype=np.uint64))
+    out = np.zeros(w.shape, dtype=np.int64)
+    tmp = w.copy()
+    while np.any(tmp):
+        out += (tmp & np.uint64(1)).astype(np.int64)
+        tmp >>= np.uint64(1)
+    return int(out[0]) if scalar else out
+
+
+def select64(word: int, k: int) -> int:
+    """Position (0-based) of the ``k``-th (1-indexed) set bit of a 64-bit word.
+
+    Returns 64 when the word has fewer than ``k`` set bits (CUDA/x86
+    convention for "not found").
+    """
+    word = int(word) & 0xFFFFFFFFFFFFFFFF
+    if k <= 0:
+        raise ValueError("k must be >= 1")
+    seen = 0
+    for bit in range(64):
+        if word & (1 << bit):
+            seen += 1
+            if seen == k:
+                return bit
+    return 64
+
+
+class Bitvector:
+    """A fixed-length bit vector with rank/select queries.
+
+    Parameters
+    ----------
+    n_bits:
+        Length of the vector; all bits start cleared.
+    """
+
+    def __init__(self, n_bits: int) -> None:
+        if n_bits <= 0:
+            raise ValueError("n_bits must be positive")
+        self.n_bits = int(n_bits)
+        self.bits = np.zeros(self.n_bits, dtype=bool)
+
+    # ----------------------------------------------------------- bit access
+    def get(self, index: int) -> bool:
+        """Return bit ``index``."""
+        return bool(self.bits[index])
+
+    def set(self, index: int, value: bool = True) -> None:
+        """Set (or clear) bit ``index``."""
+        self.bits[index] = bool(value)
+
+    def clear(self, index: int) -> None:
+        """Clear bit ``index``."""
+        self.bits[index] = False
+
+    def clear_range(self, start: int, stop: int) -> None:
+        """Clear bits in ``[start, stop)``."""
+        self.bits[start:stop] = False
+
+    def count(self) -> int:
+        """Total number of set bits."""
+        return int(np.count_nonzero(self.bits))
+
+    # ------------------------------------------------------------ rank/select
+    def rank(self, index: int) -> int:
+        """Number of set bits in ``[0, index]`` (inclusive).
+
+        ``rank(-1)`` is 0 by convention.
+        """
+        if index < 0:
+            return 0
+        index = min(index, self.n_bits - 1)
+        return int(np.count_nonzero(self.bits[: index + 1]))
+
+    def select(self, k: int) -> Optional[int]:
+        """Position of the ``k``-th set bit (1-indexed); None if fewer exist."""
+        if k <= 0:
+            raise ValueError("select is 1-indexed: k must be >= 1")
+        positions = np.flatnonzero(self.bits)
+        if k > positions.size:
+            return None
+        return int(positions[k - 1])
+
+    def select_from(self, k: int, start: int) -> Optional[int]:
+        """Position of the ``k``-th set bit at or after ``start``."""
+        if k <= 0:
+            raise ValueError("select is 1-indexed: k must be >= 1")
+        positions = np.flatnonzero(self.bits[start:])
+        if k > positions.size:
+            return None
+        return int(start + positions[k - 1])
+
+    # ------------------------------------------------------------- navigation
+    def next_set(self, start: int) -> Optional[int]:
+        """First set bit at or after ``start`` (None if none)."""
+        if start >= self.n_bits:
+            return None
+        offset = np.argmax(self.bits[start:]) if self.bits[start:].any() else -1
+        if offset < 0:
+            return None
+        return int(start + offset)
+
+    def next_unset(self, start: int) -> Optional[int]:
+        """First cleared bit at or after ``start`` (None if none)."""
+        if start >= self.n_bits:
+            return None
+        region = ~self.bits[start:]
+        if not region.any():
+            return None
+        return int(start + np.argmax(region))
+
+    def prev_unset(self, start: int) -> Optional[int]:
+        """Last cleared bit at or before ``start`` (None if none)."""
+        if start < 0:
+            return None
+        start = min(start, self.n_bits - 1)
+        region = ~self.bits[: start + 1]
+        if not region.any():
+            return None
+        return int(np.flatnonzero(region)[-1])
+
+    def set_positions(self, start: int, stop: int) -> np.ndarray:
+        """Positions of set bits within ``[start, stop)``."""
+        return start + np.flatnonzero(self.bits[start:stop])
+
+    # -------------------------------------------------------------- shifting
+    def shift_right_one(self, start: int, stop: int) -> None:
+        """Shift bits ``[start, stop)`` one position right (towards stop).
+
+        Bit ``stop`` receives the old bit ``stop - 1``; bit ``start`` is
+        cleared.  Used when Robin-Hood insertion shifts remainders: the
+        ``runends`` bits move with their slots.
+        """
+        if stop <= start:
+            return
+        if stop >= self.n_bits:
+            raise IndexError("shift would run past the end of the bit vector")
+        self.bits[start + 1 : stop + 1] = self.bits[start:stop]
+        self.bits[start] = False
+
+    def shift_left_one(self, start: int, stop: int) -> None:
+        """Shift bits ``[start, stop)`` one position left (towards start)."""
+        if stop <= start:
+            return
+        self.bits[start - 1 : stop - 1] = self.bits[start:stop]
+        self.bits[stop - 1] = False
+
+    # ------------------------------------------------------------ packed view
+    def to_words(self) -> np.ndarray:
+        """Export the bits as packed little-endian uint64 words."""
+        n_words = (self.n_bits + 63) // 64
+        padded = np.zeros(n_words * 64, dtype=np.uint8)
+        padded[: self.n_bits] = self.bits
+        return np.packbits(padded, bitorder="little").view(np.uint64)
+
+    @classmethod
+    def from_words(cls, words: np.ndarray, n_bits: int) -> "Bitvector":
+        """Build a bit vector from packed uint64 words."""
+        words = np.ascontiguousarray(np.asarray(words, dtype=np.uint64))
+        bv = cls(n_bits)
+        bits = np.unpackbits(words.view(np.uint8), bitorder="little")
+        bv.bits[:] = bits[:n_bits].astype(bool)
+        return bv
+
+    @property
+    def nbytes_packed(self) -> int:
+        """Packed size in bytes (1 bit per position)."""
+        return (self.n_bits + 7) // 8
+
+    def __len__(self) -> int:
+        return self.n_bits
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Bitvector(n_bits={self.n_bits}, set={self.count()})"

@@ -1,0 +1,167 @@
+"""TCF configuration: fingerprint width, block size, cooperative-group size.
+
+The paper's Section 4.1 identifies three factors dominating TCF performance:
+the block size (cache-line accesses per operation), the bits per item
+(fingerprint width, which also sets the false-positive rate
+:math:`\\varepsilon = 2B / 2^f`), and the cooperative-group size (the
+compute/memory balance swept in Figure 5).
+
+Figure 5 labels variants ``f-B`` where ``f`` is the fingerprint size in bits
+and ``B`` the block size in slots; :data:`FIGURE5_VARIANTS` lists them all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+import numpy as np
+
+#: Slot value reserved for an empty slot.
+EMPTY_SLOT = 0
+#: Slot value reserved for a deleted (tombstoned) slot.
+TOMBSTONE_SLOT = 1
+
+#: GPU cache line in bytes; a TCF block must not exceed one line.
+GPU_CACHE_LINE_BYTES = 128
+
+#: Minimum width of an atomicCAS transaction in bits (2 bytes on NVIDIA GPUs).
+MIN_CAS_BITS = 16
+
+
+@dataclass(frozen=True)
+class TCFConfig:
+    """Static configuration of a two-choice filter.
+
+    Attributes
+    ----------
+    fingerprint_bits:
+        Width of the stored fingerprint (8, 12 or 16 in the paper's sweep).
+    block_size:
+        Slots per block.  Blocks are sized to fit within one 128-byte cache
+        line; the point filter defaults to 16 slots, the bulk filter to 64.
+    cg_size:
+        Cooperative-group size used for block operations (1..32; the paper
+        finds 4 optimal for most variants).
+    value_bits:
+        Optional small value stored alongside the fingerprint (packed into
+        the same slot word).  0 disables value association.
+    shortcut_fill:
+        Primary-block fill ratio below which the secondary block is not even
+        probed (the "shortcut optimisation"; 0.75 in the paper).
+    backing_fraction:
+        Size of the backing table relative to the main table (1/100 in the
+        paper).
+    max_load_factor:
+        Recommended maximum load factor (0.9 with the backing table).
+    """
+
+    fingerprint_bits: int = 16
+    block_size: int = 16
+    cg_size: int = 4
+    value_bits: int = 0
+    shortcut_fill: float = 0.75
+    backing_fraction: float = 0.01
+    max_load_factor: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not 4 <= self.fingerprint_bits <= 32:
+            raise ValueError("fingerprint_bits must be in [4, 32]")
+        if self.block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        if self.cg_size not in (1, 2, 4, 8, 16, 32):
+            raise ValueError("cg_size must be a power of two in [1, 32]")
+        if self.value_bits < 0 or self.fingerprint_bits + self.value_bits > 64:
+            raise ValueError("value_bits out of range")
+        if not 0.0 <= self.shortcut_fill <= 1.0:
+            raise ValueError("shortcut_fill must be in [0, 1]")
+        if not 0.0 < self.backing_fraction < 1.0:
+            raise ValueError("backing_fraction must be in (0, 1)")
+        if not 0.0 < self.max_load_factor <= 1.0:
+            raise ValueError("max_load_factor must be in (0, 1]")
+        if self.block_bytes > GPU_CACHE_LINE_BYTES:
+            raise ValueError(
+                f"block of {self.block_size} x {self.slot_bits}-bit slots "
+                f"({self.block_bytes} B) exceeds the {GPU_CACHE_LINE_BYTES}-byte cache line"
+            )
+
+    # ----------------------------------------------------------------- sizes
+    @property
+    def slot_bits(self) -> int:
+        """Width of the stored slot word (fingerprint + value), in bits.
+
+        Slots are rounded up to the minimum atomicCAS transaction width
+        (16 bits); 12-bit fingerprints therefore share a CAS word with bits
+        of the neighbouring slot, which is the source of the extra CAS
+        retries the paper describes (and Figure 5 measures).
+        """
+        return max(MIN_CAS_BITS, self.fingerprint_bits + self.value_bits)
+
+    @property
+    def packed_slot_bits(self) -> int:
+        """Width of the slot as actually packed in memory (space accounting)."""
+        return self.fingerprint_bits + self.value_bits
+
+    @property
+    def slot_dtype(self) -> np.dtype:
+        """NumPy dtype wide enough to hold one slot word."""
+        bits = self.slot_bits
+        if bits <= 16:
+            return np.dtype(np.uint16)
+        if bits <= 32:
+            return np.dtype(np.uint32)
+        return np.dtype(np.uint64)
+
+    @property
+    def block_bytes(self) -> int:
+        """Bytes of one block as packed in memory."""
+        return (self.block_size * self.packed_slot_bits + 7) // 8
+
+    @property
+    def cas_spans_slots(self) -> bool:
+        """True when a CAS word covers bits of more than one packed slot.
+
+        This is the 12-bit-fingerprint situation: ~50 % of inserts need two
+        atomic operations and a CAS can fail due to changes outside the slot
+        being written.
+        """
+        return self.packed_slot_bits < MIN_CAS_BITS or self.packed_slot_bits % MIN_CAS_BITS != 0
+
+    # ------------------------------------------------------------- accuracy
+    @property
+    def false_positive_rate(self) -> float:
+        """Analytical FP rate: 2B / 2^f (two blocks of B slots probed)."""
+        return 2.0 * self.block_size / float(1 << self.fingerprint_bits)
+
+    @property
+    def label(self) -> str:
+        """Figure-5-style label ``"<fingerprint_bits>-<block_size>"``."""
+        return f"{self.fingerprint_bits}-{self.block_size}"
+
+    def with_cg_size(self, cg_size: int) -> "TCFConfig":
+        """Return a copy with a different cooperative-group size."""
+        return replace(self, cg_size=cg_size)
+
+
+#: The point-TCF configuration used in the main comparison (16-bit slots,
+#: 16-slot blocks): the smallest word-aligned variant near the 0.1 % target.
+POINT_TCF_DEFAULT = TCFConfig(fingerprint_bits=16, block_size=16, cg_size=4)
+
+#: The bulk-TCF configuration: 128-byte blocks of 64 x 16-bit slots.
+BULK_TCF_DEFAULT = TCFConfig(
+    fingerprint_bits=16, block_size=64, cg_size=32, max_load_factor=0.9
+)
+
+#: The variants swept in Figure 5 ("fingerprint_bits-block_size").
+FIGURE5_VARIANTS: Dict[str, TCFConfig] = {
+    "8-8": TCFConfig(fingerprint_bits=8, block_size=8),
+    "12-8": TCFConfig(fingerprint_bits=12, block_size=8),
+    "12-12": TCFConfig(fingerprint_bits=12, block_size=12),
+    "12-16": TCFConfig(fingerprint_bits=12, block_size=16),
+    "12-32": TCFConfig(fingerprint_bits=12, block_size=32),
+    "16-16": TCFConfig(fingerprint_bits=16, block_size=16),
+    "16-32": TCFConfig(fingerprint_bits=16, block_size=32),
+}
+
+#: Cooperative-group sizes swept in Figure 5.
+FIGURE5_CG_SIZES: Tuple[int, ...] = (1, 2, 4, 8, 16, 32)

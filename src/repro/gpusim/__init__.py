@@ -1,0 +1,93 @@
+"""GPU execution-model simulator.
+
+This package is the substrate substituting for real CUDA hardware in the
+reproduction of *High-Performance Filters for GPUs* (PPoPP 2023).  It
+provides:
+
+* :mod:`~repro.gpusim.device` — V100 / A100 / KNL device specifications;
+* :mod:`~repro.gpusim.memory` — device arrays with cache-line accounting and
+  an allocator for memory-footprint experiments;
+* :mod:`~repro.gpusim.atomics` — CUDA-style atomics and spin-lock tables;
+* :mod:`~repro.gpusim.warp` — warps and cooperative groups (ballot, ffs,
+  strided iteration);
+* :mod:`~repro.gpusim.sharedmem` — shared-memory staging tiles;
+* :mod:`~repro.gpusim.kernel` — kernel-launch geometry records;
+* :mod:`~repro.gpusim.sorting` — Thrust-like sort/reduce/search primitives;
+* :mod:`~repro.gpusim.stats` — hardware-event counters;
+* :mod:`~repro.gpusim.perfmodel` — the roofline-style time estimator.
+"""
+
+from .device import A100, KNL, V100, GPUSpec, get_device
+from .kernel import (
+    KernelContext,
+    LaunchConfig,
+    bulk_block_launch,
+    bulk_region_launch,
+    point_launch,
+)
+from .memory import DeviceAllocator, DeviceArray
+from .perfmodel import PerfEstimate, combine_estimates, estimate_time, scale_stats
+from .sharedmem import SharedMemoryTile
+from .sorting import (
+    device_exclusive_scan,
+    device_lower_bound,
+    device_reduce_by_key,
+    device_sort,
+    device_sort_by_key,
+    device_unique_counts,
+)
+from .stats import GLOBAL_RECORDER, KernelStats, StatsRecorder
+from .warp import WARP_SIZE, CooperativeGroup, WarpConfig, ffs, partition_warp, popc
+from .atomics import (
+    SpinLockTable,
+    atomic_add,
+    atomic_and,
+    atomic_cas,
+    atomic_exch,
+    atomic_max,
+    atomic_min,
+    atomic_or,
+)
+
+__all__ = [
+    "A100",
+    "KNL",
+    "V100",
+    "GPUSpec",
+    "get_device",
+    "KernelContext",
+    "LaunchConfig",
+    "bulk_block_launch",
+    "bulk_region_launch",
+    "point_launch",
+    "DeviceAllocator",
+    "DeviceArray",
+    "PerfEstimate",
+    "combine_estimates",
+    "estimate_time",
+    "scale_stats",
+    "SharedMemoryTile",
+    "device_exclusive_scan",
+    "device_lower_bound",
+    "device_reduce_by_key",
+    "device_sort",
+    "device_sort_by_key",
+    "device_unique_counts",
+    "GLOBAL_RECORDER",
+    "KernelStats",
+    "StatsRecorder",
+    "WARP_SIZE",
+    "CooperativeGroup",
+    "WarpConfig",
+    "ffs",
+    "partition_warp",
+    "popc",
+    "SpinLockTable",
+    "atomic_add",
+    "atomic_and",
+    "atomic_cas",
+    "atomic_exch",
+    "atomic_max",
+    "atomic_min",
+    "atomic_or",
+]

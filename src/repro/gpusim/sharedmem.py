@@ -1,0 +1,111 @@
+"""Block-shared memory staging used by the bulk TCF.
+
+The bulk TCF loads each block of the table into shared memory, performs all
+reads/writes with shared-memory atomics, and finally writes the block back to
+global memory as one coalesced cache-wide store (Section 4.2 of the paper).
+:class:`SharedMemoryTile` models that staging buffer: loads/stores against
+global memory are counted as coalesced line transactions, while accesses to
+the tile itself are counted as (much cheaper) shared-memory accesses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .memory import DeviceArray
+from .stats import StatsRecorder
+
+
+class SharedMemoryTile:
+    """A staging copy of a contiguous region of a :class:`DeviceArray`.
+
+    Parameters
+    ----------
+    source:
+        The device array being staged.
+    start, stop:
+        The staged element range ``[start, stop)``.
+    recorder:
+        Stats recorder; defaults to the source array's recorder.
+    """
+
+    def __init__(
+        self,
+        source: DeviceArray,
+        start: int,
+        stop: int,
+        recorder: Optional[StatsRecorder] = None,
+    ) -> None:
+        if not 0 <= start <= stop <= source.size:
+            raise IndexError(
+                f"tile range [{start}, {stop}) outside array of size {source.size}"
+            )
+        self.source = source
+        self.start = int(start)
+        self.stop = int(stop)
+        self.recorder = recorder if recorder is not None else source.recorder
+        # Cooperative, coalesced load of the whole tile.
+        self.local = np.array(source.read_range(start, stop), copy=True)
+        self._dirty = False
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+    # -- shared-memory accesses ------------------------------------------------
+    def read(self, offset: int):
+        """Read one element from the tile (shared-memory access)."""
+        self.recorder.add(shared_memory_accesses=1)
+        return self.local[offset]
+
+    def write(self, offset: int, value) -> None:
+        """Write one element into the tile (shared-memory access)."""
+        self.recorder.add(shared_memory_accesses=1)
+        self.local[offset] = value
+        self._dirty = True
+
+    def view(self) -> np.ndarray:
+        """Whole-tile view (counted as one shared access per element)."""
+        self.recorder.add(shared_memory_accesses=self.size)
+        return self.local
+
+    def replace(self, values: np.ndarray) -> None:
+        """Replace the whole tile contents (e.g. after a merge)."""
+        values = np.asarray(values, dtype=self.local.dtype)
+        if values.size != self.size:
+            raise ValueError("replacement must match the tile size")
+        self.recorder.add(shared_memory_accesses=self.size)
+        self.local = np.array(values, copy=True)
+        self._dirty = True
+
+    def shared_atomic_add(self, offset: int, value) -> int:
+        """Shared-memory atomic add (cheap, not a global atomic)."""
+        self.recorder.add(shared_memory_accesses=1, instructions=1)
+        old = self.local[offset]
+        self.local[offset] = old + self.local.dtype.type(value)
+        return int(old)
+
+    def shared_atomic_cas(self, offset: int, expected, desired) -> tuple[bool, int]:
+        """Shared-memory CAS; returns (swapped, old_value)."""
+        self.recorder.add(shared_memory_accesses=1, instructions=1)
+        old = self.local[offset]
+        if old == self.local.dtype.type(expected):
+            self.local[offset] = self.local.dtype.type(desired)
+            return True, int(old)
+        return False, int(old)
+
+    # -- write-back ----------------------------------------------------------
+    def flush(self) -> None:
+        """Write the tile back to global memory as a coalesced store."""
+        if self._dirty:
+            self.source.write_range(self.start, self.local)
+            self._dirty = False
+
+    def __enter__(self) -> "SharedMemoryTile":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.flush()

@@ -1,0 +1,140 @@
+"""64-bit hash mixers / finalizers used throughout the filters.
+
+The paper's filters hash incoming 64-bit keys before splitting the result
+into quotient/remainder (GQF) or block-index/fingerprint (TCF) parts.  The
+CPU counting quotient filter relies on an *invertible* 64-bit hash so that
+items can be enumerated and filters merged; we provide the same invertible
+mixer (a MurmurHash3-style finalizer with its exact inverse) plus a
+splitmix64 and an xxhash-style avalanche for double hashing.
+
+All functions are vectorised: they accept either Python ints or NumPy uint64
+arrays and always compute modulo 2^64 without Python-level overflow.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+ArrayOrInt = Union[int, np.ndarray]
+
+_U64 = np.uint64
+_MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _as_u64(x: ArrayOrInt) -> np.ndarray:
+    """Coerce ints / arrays to uint64 without overflow errors."""
+    if isinstance(x, np.ndarray):
+        return x.astype(np.uint64, copy=True)
+    return np.uint64(int(x) & 0xFFFFFFFFFFFFFFFF)
+
+
+def _maybe_scalar(x: np.ndarray, scalar_in: bool):
+    return int(x) if scalar_in else x
+
+
+def murmur64_mix(x: ArrayOrInt) -> ArrayOrInt:
+    """MurmurHash3 / splittable-64 finalizer (invertible).
+
+    This is the ``hash_64`` function used by the reference CQF: every step
+    (xor-shift or multiplication by an odd constant) is invertible, so the
+    filter can recover the original fingerprint for enumeration and merging.
+    """
+    scalar = not isinstance(x, np.ndarray)
+    v = _as_u64(x)
+    with np.errstate(over="ignore"):
+        v = (v ^ (v >> _U64(33))) & _MASK64
+        v = (v * _U64(0xFF51AFD7ED558CCD)) & _MASK64
+        v = (v ^ (v >> _U64(33))) & _MASK64
+        v = (v * _U64(0xC4CEB9FE1A85EC53)) & _MASK64
+        v = (v ^ (v >> _U64(33))) & _MASK64
+    return _maybe_scalar(v, scalar)
+
+
+def _unshift_right_xor(v: np.ndarray, shift: int) -> np.ndarray:
+    """Invert ``v ^= v >> shift`` for 64-bit values."""
+    out = v.copy() if isinstance(v, np.ndarray) else v
+    # Repeated application recovers all bits once shift*k >= 64.
+    result = v
+    for _ in range(64 // shift + 1):
+        result = v ^ (result >> _U64(shift))
+    return result
+
+
+#: Modular inverses of the murmur finalizer multipliers (mod 2^64).
+_INV1 = _U64(0x4F74430C22A54005)  # inverse of 0xFF51AFD7ED558CCD
+_INV2 = _U64(0x9CB4B2F8129337DB)  # inverse of 0xC4CEB9FE1A85EC53
+
+
+def murmur64_unmix(x: ArrayOrInt) -> ArrayOrInt:
+    """Exact inverse of :func:`murmur64_mix`."""
+    scalar = not isinstance(x, np.ndarray)
+    v = _as_u64(x)
+    with np.errstate(over="ignore"):
+        v = _unshift_right_xor(v, 33)
+        v = (v * _INV2) & _MASK64
+        v = _unshift_right_xor(v, 33)
+        v = (v * _INV1) & _MASK64
+        v = _unshift_right_xor(v, 33)
+    return _maybe_scalar(v, scalar)
+
+
+def splitmix64(x: ArrayOrInt) -> ArrayOrInt:
+    """splitmix64 mixer — used as the second, independent hash family."""
+    scalar = not isinstance(x, np.ndarray)
+    v = _as_u64(x)
+    with np.errstate(over="ignore"):
+        v = (v + _U64(0x9E3779B97F4A7C15)) & _MASK64
+        v = ((v ^ (v >> _U64(30))) * _U64(0xBF58476D1CE4E5B9)) & _MASK64
+        v = ((v ^ (v >> _U64(27))) * _U64(0x94D049BB133111EB)) & _MASK64
+        v = (v ^ (v >> _U64(31))) & _MASK64
+    return _maybe_scalar(v, scalar)
+
+
+def xxhash64_avalanche(x: ArrayOrInt) -> ArrayOrInt:
+    """xxHash64 avalanche step — third independent family (Bloom filters)."""
+    scalar = not isinstance(x, np.ndarray)
+    v = _as_u64(x)
+    with np.errstate(over="ignore"):
+        v = (v ^ (v >> _U64(33))) & _MASK64
+        v = (v * _U64(0xC2B2AE3D27D4EB4F)) & _MASK64
+        v = (v ^ (v >> _U64(29))) & _MASK64
+        v = (v * _U64(0x165667B19E3779F9)) & _MASK64
+        v = (v ^ (v >> _U64(32))) & _MASK64
+    return _maybe_scalar(v, scalar)
+
+
+def hash_with_seed(x: ArrayOrInt, seed: int) -> ArrayOrInt:
+    """Seeded 64-bit hash built from the mixers (for Bloom's k hashes)."""
+    scalar = not isinstance(x, np.ndarray)
+    v = _as_u64(x)
+    s = _U64(int(seed) & 0xFFFFFFFFFFFFFFFF)
+    with np.errstate(over="ignore"):
+        v = (v ^ (s * _U64(0x9E3779B97F4A7C15))) & _MASK64
+    out = splitmix64(v)
+    return _maybe_scalar(_as_u64(out), scalar)
+
+
+def double_hash_slots(
+    x: ArrayOrInt, n_slots: int, n_probes: int
+) -> np.ndarray:
+    """Double hashing: ``h1 + i*h2 (mod n_slots)`` for i in [0, n_probes).
+
+    Used by the Bloom filter (k bit positions from two hash evaluations) and
+    by the TCF backing table's probe sequence.  Returns an array of shape
+    ``(n_probes,)`` for scalar input or ``(len(x), n_probes)`` for array
+    input.
+    """
+    scalar = not isinstance(x, np.ndarray)
+    v = np.atleast_1d(_as_u64(x))
+    h1 = np.atleast_1d(_as_u64(murmur64_mix(v)))
+    h2 = np.atleast_1d(_as_u64(splitmix64(v)))
+    # Force h2 odd so that the probe sequence visits distinct slots when
+    # n_slots is a power of two.
+    h2 = h2 | _U64(1)
+    steps = np.arange(n_probes, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        probes = (h1[:, None] + steps[None, :] * h2[:, None]) % _U64(n_slots)
+    probes = probes.astype(np.int64)
+    return probes[0] if scalar else probes

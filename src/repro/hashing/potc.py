@@ -1,0 +1,126 @@
+"""Power-of-two-choice (POTC) hashing utilities.
+
+The TCF assigns every item two candidate blocks via a pair of independent
+hashes and inserts into the less-full one (Azar et al.'s balanced
+allocations).  This keeps the maximum block load at :math:`O(\\log\\log n)`
+above the average, which is what lets the filter reach a 90 % load factor
+with small, cache-line-sized blocks.
+
+This module provides the bucket-pair derivation, the fingerprint extraction,
+and an analytical helper used by the tests to check the load-variance bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+import numpy as np
+
+from .mixers import murmur64_mix, splitmix64
+
+ArrayOrInt = Union[int, np.ndarray]
+_MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+@dataclass(frozen=True)
+class PotcHash:
+    """The derived addressing information for one key (or a batch of keys).
+
+    Attributes
+    ----------
+    primary:
+        Index of the primary candidate block.
+    secondary:
+        Index of the secondary candidate block.
+    fingerprint:
+        The ``f``-bit fingerprint stored in the table.  Never zero — zero is
+        reserved for the empty slot — and never equal to the tombstone value.
+    """
+
+    primary: ArrayOrInt
+    secondary: ArrayOrInt
+    fingerprint: ArrayOrInt
+
+
+def derive(
+    keys: ArrayOrInt,
+    n_blocks: int,
+    fingerprint_bits: int,
+    reserved_values: Tuple[int, ...] = (0, 1),
+) -> PotcHash:
+    """Derive (primary block, secondary block, fingerprint) for ``keys``.
+
+    Parameters
+    ----------
+    keys:
+        64-bit keys (scalar or array).
+    n_blocks:
+        Number of blocks in the table.
+    fingerprint_bits:
+        Width of the stored fingerprint.
+    reserved_values:
+        Fingerprint values that must not be produced because the table uses
+        them as sentinels (0 = empty, 1 = tombstone by default).  Reserved
+        fingerprints are remapped to ``max(reserved) + 1 ...`` which costs a
+        negligible amount of entropy.
+    """
+    if n_blocks <= 0:
+        raise ValueError("n_blocks must be positive")
+    if not 1 <= fingerprint_bits <= 63:
+        raise ValueError("fingerprint_bits must be in [1, 63]")
+    scalar = not isinstance(keys, np.ndarray)
+    k = np.atleast_1d(np.asarray(keys, dtype=np.uint64))
+
+    h1 = np.atleast_1d(np.asarray(murmur64_mix(k), dtype=np.uint64))
+    h2 = np.atleast_1d(np.asarray(splitmix64(k), dtype=np.uint64))
+
+    primary = (h1 % np.uint64(n_blocks)).astype(np.int64)
+    secondary = (h2 % np.uint64(n_blocks)).astype(np.int64)
+    # Ensure the two choices differ whenever the table has more than 1 block;
+    # otherwise POTC degenerates to single hashing for those keys.
+    if n_blocks > 1:
+        same = primary == secondary
+        secondary = np.where(same, (secondary + 1) % n_blocks, secondary)
+
+    fp_mask = np.uint64((1 << fingerprint_bits) - 1)
+    fingerprint = ((h1 >> np.uint64(17)) ^ (h2 << np.uint64(3))) & fp_mask
+    fingerprint = fingerprint.astype(np.uint64)
+    if reserved_values:
+        n_reserved = len(reserved_values)
+        reserved_arr = np.array(sorted(reserved_values), dtype=np.uint64)
+        is_reserved = np.isin(fingerprint, reserved_arr)
+        # Remap reserved fingerprints deterministically above the sentinels.
+        replacement = (np.uint64(max(reserved_values)) + np.uint64(1) +
+                       (fingerprint % np.uint64(max(1, (1 << fingerprint_bits) - n_reserved - 1)))) & fp_mask
+        replacement = np.maximum(replacement, np.uint64(max(reserved_values) + 1))
+        fingerprint = np.where(is_reserved, replacement, fingerprint)
+
+    if scalar:
+        return PotcHash(int(primary[0]), int(secondary[0]), int(fingerprint[0]))
+    return PotcHash(primary, secondary, fingerprint)
+
+
+def expected_max_load(n_items: int, n_blocks: int) -> float:
+    """Analytical estimate of the maximum block load under POTC hashing.
+
+    Azar et al. show the maximum load is ``n/m + O(log log m)`` with two
+    choices; the tests use this as an upper-bound sanity check on the
+    simulated load distribution (with a conservative constant).
+    """
+    if n_blocks <= 0:
+        raise ValueError("n_blocks must be positive")
+    average = n_items / n_blocks
+    if n_blocks == 1:
+        return float(n_items)
+    return average + np.log(np.log(n_blocks) + 1.0) / np.log(2.0) + 4.0
+
+
+def single_choice_expected_max_load(n_items: int, n_blocks: int) -> float:
+    """Max load estimate under single-choice hashing (for comparison tests)."""
+    if n_blocks <= 0:
+        raise ValueError("n_blocks must be positive")
+    average = n_items / n_blocks
+    if n_blocks == 1:
+        return float(n_items)
+    return average + np.sqrt(2.0 * average * np.log(n_blocks)) + 3.0

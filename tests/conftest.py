@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim.stats import StatsRecorder
+from repro.hashing.xorwow import generate_disjoint_keys, generate_keys
+
+
+@pytest.fixture
+def recorder() -> StatsRecorder:
+    """A fresh stats recorder."""
+    return StatsRecorder()
+
+
+@pytest.fixture(scope="session")
+def keys_1k() -> np.ndarray:
+    """1024 pseudo-random 64-bit keys (session-scoped: generation is pure)."""
+    return generate_keys(1024, seed=0xFEED)
+
+
+@pytest.fixture(scope="session")
+def keys_4k() -> np.ndarray:
+    """4096 pseudo-random 64-bit keys."""
+    return generate_keys(4096, seed=0xBEEF)
+
+
+@pytest.fixture(scope="session")
+def negative_keys_1k(keys_4k) -> np.ndarray:
+    """1024 keys guaranteed disjoint from ``keys_4k`` (and ``keys_1k``)."""
+    return generate_disjoint_keys(1024, seed=0x0DD, avoid=keys_4k)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic NumPy RNG for test-local randomness."""
+    return np.random.default_rng(12345)

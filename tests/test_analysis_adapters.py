@@ -1,0 +1,113 @@
+"""Tests for the benchmark filter adapters and the warp-scheduling model."""
+
+import pytest
+
+from repro.analysis import adapters
+from repro.analysis.throughput import (
+    PHASE_DELETE,
+    PHASE_INSERT,
+    PHASE_POSITIVE,
+    PHASE_RANDOM,
+)
+from repro.core.tcf import FIGURE5_VARIANTS
+from repro.gpusim.perfmodel import cg_warp_cycles
+from repro.gpusim.stats import StatsRecorder
+
+
+class TestCgWarpCycles:
+    def test_interior_optimum(self):
+        """The cost is minimised at an intermediate cooperative-group size."""
+        costs = {cg: cg_warp_cycles(16, cg) for cg in (1, 2, 4, 8, 16, 32)}
+        best = min(costs, key=costs.get)
+        assert best in (2, 4, 8)
+        assert costs[1] > costs[best]
+        assert costs[32] > costs[best]
+
+    def test_larger_blocks_prefer_larger_groups(self):
+        best_16 = min((1, 2, 4, 8, 16, 32), key=lambda cg: cg_warp_cycles(16, cg))
+        best_64 = min((1, 2, 4, 8, 16, 32), key=lambda cg: cg_warp_cycles(64, cg))
+        assert best_64 >= best_16
+
+    def test_more_blocks_probed_costs_more(self):
+        assert cg_warp_cycles(16, 4, blocks_probed=2.0) > cg_warp_cycles(16, 4, blocks_probed=1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cg_warp_cycles(0, 4)
+        with pytest.raises(ValueError):
+            cg_warp_cycles(16, 0)
+
+
+class TestAdapterRegistries:
+    def test_point_registry_contents(self):
+        registry = adapters.point_api_adapters()
+        assert set(registry) == {"tcf", "gqf", "bf", "bbf"}
+        assert all(a.api == "point" for a in registry.values())
+
+    def test_bulk_registry_contents(self):
+        registry = adapters.bulk_api_adapters()
+        assert set(registry) == {"bulk-tcf", "bulk-gqf", "sqf", "rsqf"}
+        assert all(a.api == "bulk" for a in registry.values())
+
+    def test_deletion_registry_matches_figure6(self):
+        assert set(adapters.deletion_adapters()) == {"bulk-gqf", "sqf", "tcf"}
+
+    def test_cpu_vs_gpu_registry_matches_table4(self):
+        assert set(adapters.cpu_vs_gpu_adapters()) == {"cpu-cqf", "gqf", "cpu-vqf", "tcf"}
+
+
+class TestAdapterBehaviour:
+    def test_builders_produce_working_filters(self):
+        for adapter in adapters.point_api_adapters().values():
+            filt = adapter.build(512, StatsRecorder())
+            filt.insert(1234)
+            assert filt.query(1234)
+        for adapter in adapters.bulk_api_adapters().values():
+            filt = adapter.build(512, StatsRecorder())
+            filt.bulk_insert([1234, 5678])
+            assert filt.bulk_query([1234, 5678]).all()
+
+    def test_nominal_bytes_scale_with_capacity(self):
+        for adapter in (list(adapters.point_api_adapters().values())
+                        + list(adapters.bulk_api_adapters().values())):
+            small = adapter.nominal_bytes(1 << 20)
+            large = adapter.nominal_bytes(1 << 24)
+            assert large > 8 * small
+
+    def test_point_adapters_expose_one_unit_per_item(self):
+        gqf = adapters.point_gqf_adapter()
+        assert gqf.active_threads(PHASE_INSERT, 1000, 1 << 22) == 1000
+        tcf = adapters.point_tcf_adapter()
+        assert tcf.active_threads(PHASE_INSERT, 1000, 1 << 22) == 4000  # cg=4
+
+    def test_bulk_gqf_threads_are_regions_per_phase(self):
+        adapter = adapters.bulk_gqf_adapter()
+        threads = adapter.active_threads(PHASE_INSERT, 10**6, 1 << 26)
+        assert threads == (1 << 26) // 8192 // 2
+        assert adapter.active_threads(PHASE_POSITIVE, 10**6, 1 << 26) == 10**6
+
+    def test_rsqf_insert_is_serialised(self):
+        adapter = adapters.rsqf_adapter()
+        assert adapter.active_threads(PHASE_INSERT, 10**6, 1 << 24) == 1
+        assert adapter.active_threads(PHASE_POSITIVE, 10**6, 1 << 24) == 10**6
+        assert adapter.max_lg_capacity == 26
+
+    def test_gqf_lock_serialization_shrinks_with_filter_size(self):
+        adapter = adapters.point_gqf_adapter()
+        small = adapter.lock_serialization(PHASE_INSERT, 10**7, 1 << 22)
+        large = adapter.lock_serialization(PHASE_INSERT, 10**7, 1 << 30)
+        assert small > large
+        assert adapter.lock_serialization(PHASE_POSITIVE, 10**7, 1 << 22) == 0.0
+
+    def test_tcf_warp_cycles_vary_with_cg_size(self):
+        fast = adapters.point_tcf_adapter(FIGURE5_VARIANTS["16-16"].with_cg_size(4))
+        slow = adapters.point_tcf_adapter(FIGURE5_VARIANTS["16-16"].with_cg_size(32))
+        assert slow.warp_cycles(PHASE_INSERT) > fast.warp_cycles(PHASE_INSERT)
+
+    def test_bf_random_queries_cheaper_than_positive(self):
+        adapter = adapters.bloom_adapter()
+        assert adapter.warp_cycles(PHASE_RANDOM) < adapter.warp_cycles(PHASE_POSITIVE)
+
+    def test_sqf_delete_parallelism_is_limited(self):
+        adapter = adapters.sqf_adapter()
+        assert adapter.active_threads(PHASE_DELETE, 10**6, 1 << 24) <= 64

@@ -1,0 +1,51 @@
+"""Tests for the Table 1 API-support matrix."""
+
+from repro.analysis.api_matrix import (
+    PAPER_TABLE1,
+    TABLE1_COLUMNS,
+    TABLE1_FILTERS,
+    build_api_matrix,
+    capability_row,
+    matrix_matches_paper,
+)
+
+
+class TestApiMatrix:
+    def test_matrix_matches_paper_table1(self):
+        """The implementation's capabilities must reproduce Table 1 exactly."""
+        assert matrix_matches_paper()
+        assert build_api_matrix() == PAPER_TABLE1
+
+    def test_every_paper_filter_present(self):
+        assert set(TABLE1_FILTERS) == {"GQF", "TCF", "BF", "SQF", "RSQF"}
+
+    def test_gqf_supports_everything(self):
+        row = build_api_matrix()["GQF"]
+        assert all(row[column] for column in TABLE1_COLUMNS)
+
+    def test_only_gqf_counts(self):
+        matrix = build_api_matrix()
+        for name, row in matrix.items():
+            if name == "GQF":
+                assert row["count_point"] and row["count_bulk"]
+            else:
+                assert not row["count_point"] and not row["count_bulk"]
+
+    def test_bf_has_no_deletes(self):
+        row = build_api_matrix()["BF"]
+        assert not row["delete_point"] and not row["delete_bulk"]
+
+    def test_sqf_is_bulk_only(self):
+        row = build_api_matrix()["SQF"]
+        assert row["insert_bulk"] and not row["insert_point"]
+        assert row["delete_bulk"] and not row["delete_point"]
+
+    def test_rsqf_has_no_deletes(self):
+        row = build_api_matrix()["RSQF"]
+        assert not row["delete_bulk"] and not row["delete_point"]
+
+    def test_capability_row_merges_point_and_bulk_classes(self):
+        from repro.core.gqf import BulkGQF, PointGQF
+
+        merged = capability_row([PointGQF, BulkGQF])
+        assert merged["insert_point"] and merged["insert_bulk"]

@@ -1,0 +1,144 @@
+"""Tests for the figure/table drivers (Figures 3-6, Tables 4-5)."""
+
+import pytest
+
+from repro.analysis import figures, tables
+from repro.analysis.throughput import PHASE_DELETE, PHASE_INSERT, PHASE_POSITIVE
+from repro.gpusim.device import V100
+from repro.workloads.generators import uniform_count_dataset, zipfian_count_dataset
+
+
+SMALL_SIZES = [22, 26]
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return figures.figure3_point_api(V100, SMALL_SIZES, sim_lg=10, n_queries=256)
+
+    def test_all_four_filters_present(self, results):
+        assert set(results) == {"tcf", "gqf", "bf", "bbf"}
+
+    def test_every_series_covers_every_size(self, results):
+        for series in results.values():
+            assert [p.lg_capacity for p in series] == SMALL_SIZES
+
+    def test_tcf_insert_speedup_over_gqf(self, results):
+        speedups = figures.speedup_over(results, "tcf", "gqf", PHASE_INSERT)
+        assert all(s > 1.0 for s in speedups)
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return figures.figure4_bulk_api(V100, SMALL_SIZES, sim_lg=10, n_queries=256)
+
+    def test_filters_present_with_sqf_rsqf_truncation(self, results):
+        assert set(results) == {"bulk-tcf", "bulk-gqf", "sqf", "rsqf"}
+        assert [p.lg_capacity for p in results["sqf"]] == SMALL_SIZES  # both <= 26
+
+    def test_bulk_tcf_is_fastest_inserter(self, results):
+        for lg_index in range(len(SMALL_SIZES)):
+            tcf = results["bulk-tcf"][lg_index].throughput_bops(PHASE_INSERT)
+            for other in ("bulk-gqf", "sqf", "rsqf"):
+                assert tcf > results[other][lg_index].throughput_bops(PHASE_INSERT)
+
+    def test_rsqf_inserts_orders_of_magnitude_slower(self, results):
+        """Paper: RSQF inserts top out ~3 orders of magnitude below the rest."""
+        tcf = results["bulk-tcf"][0].throughput_bops(PHASE_INSERT)
+        rsqf = results["rsqf"][0].throughput_bops(PHASE_INSERT)
+        assert tcf / rsqf > 50
+
+    def test_gqf_insert_throughput_grows_with_size(self, results):
+        series = results["bulk-gqf"]
+        assert series[-1].throughput_bops(PHASE_INSERT) > series[0].throughput_bops(PHASE_INSERT)
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def results(self):
+        variants = {"16-16": figures.FIGURE5_VARIANTS["16-16"],
+                    "8-8": figures.FIGURE5_VARIANTS["8-8"]}
+        return figures.figure5_cg_sweep(V100, lg_capacity=26, variants=variants,
+                                        cg_sizes=(1, 4, 16), sim_lg=9, n_queries=128)
+
+    def test_structure(self, results):
+        assert set(results) == {"16-16", "8-8"}
+        for per_cg in results.values():
+            assert set(per_cg) == {1, 4, 16}
+
+    def test_optimal_cg_identified(self, results):
+        best = figures.figure5_optimal_cg(results)
+        assert set(best) == {"16-16", "8-8"}
+        assert all(cg in (1, 4, 16) for cg in best.values())
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return figures.figure6_deletions(V100, SMALL_SIZES, sim_lg=10, n_queries=256)
+
+    def test_deletion_ordering_matches_paper(self, results):
+        """TCF >> GQF >> SQF for deletion throughput."""
+        tcf = results["tcf"][0].throughput_bops(PHASE_DELETE)
+        gqf = results["bulk-gqf"][0].throughput_bops(PHASE_DELETE)
+        sqf = results["sqf"][0].throughput_bops(PHASE_DELETE)
+        assert tcf > 5 * gqf
+        assert gqf > sqf
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return tables.run_table4(lg_capacity=26, sim_lg=10, n_queries=256)
+
+    def test_four_rows(self, rows):
+        assert {row["filter"] for row in rows} == {"CQF (CPU)", "GQF", "VQF (CPU)", "TCF"}
+
+    def test_gpu_filters_beat_cpu_counterparts(self, rows):
+        by_name = {row["filter"]: row for row in rows}
+        assert by_name["GQF"]["insert_mops"] > by_name["CQF (CPU)"]["insert_mops"]
+        assert by_name["TCF"]["insert_mops"] > by_name["VQF (CPU)"]["insert_mops"]
+        assert by_name["GQF"]["positive_mops"] > by_name["CQF (CPU)"]["positive_mops"]
+        assert by_name["TCF"]["positive_mops"] > by_name["VQF (CPU)"]["positive_mops"]
+
+    def test_devices_assigned_correctly(self, rows):
+        by_name = {row["filter"]: row for row in rows}
+        assert by_name["CQF (CPU)"]["device"] == "KNL"
+        assert by_name["TCF"]["device"] == "V100"
+
+
+class TestTable5:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return tables.run_table5(lg_capacities=(22, 26), sim_lg=10)
+
+    def test_grid_shape(self, results):
+        grid = tables.table5_as_grid(results)
+        assert set(grid) == {22, 26}
+        assert set(grid[22]) == set(tables.TABLE5_DATASETS)
+
+    def test_zipfian_without_mapreduce_is_slow_and_flat(self, results):
+        grid = tables.table5_as_grid(results)
+        zipf_22 = grid[22]["Zipfian count"]
+        zipf_26 = grid[26]["Zipfian count"]
+        assert zipf_22 < 0.2 * grid[22]["UR"]
+        # Flat: it does not scale with the filter size.
+        assert abs(zipf_26 - zipf_22) / zipf_22 < 0.5
+
+    def test_mapreduce_removes_the_skew_penalty(self, results):
+        grid = tables.table5_as_grid(results)
+        for lg in (22, 26):
+            assert grid[lg]["Zipfian count (MR)"] > 10 * grid[lg]["Zipfian count"]
+
+    def test_ur_scales_with_size(self, results):
+        grid = tables.table5_as_grid(results)
+        assert grid[26]["UR"] > grid[22]["UR"]
+
+    def test_hot_fraction_helpers(self):
+        zipf = zipfian_count_dataset(2000, seed=1)
+        uniform = uniform_count_dataset(2000, seed=1)
+        assert tables.hot_fraction(zipf) > 0.2
+        assert tables.hot_fraction(uniform) < 0.05
+        assert tables.is_scale_free_skew("Zipfian count", 2000, seed=2)
+        assert not tables.is_scale_free_skew("UR count", 2000, seed=2)

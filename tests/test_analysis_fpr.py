@@ -1,0 +1,53 @@
+"""Tests for the Table 2 accuracy/space measurement harness."""
+
+import pytest
+
+from repro.analysis.fpr import (
+    AccuracyResult,
+    measure_accuracy,
+    run_table2,
+    table2_configurations,
+)
+from repro.core.tcf import PointTCF
+from repro.gpusim.stats import StatsRecorder
+
+
+class TestMeasureAccuracy:
+    def test_returns_consistent_result(self):
+        filt = PointTCF.for_capacity(3000, recorder=StatsRecorder())
+        result = measure_accuracy(filt, 2000, n_negative=2000, bulk=False)
+        assert isinstance(result, AccuracyResult)
+        assert result.n_items == 2000
+        assert 0.0 <= result.false_positive_rate < 0.05
+        assert result.bits_per_item > 8.0
+        assert result.n_false_positives == int(result.false_positive_rate * 2000)
+
+    def test_as_row(self):
+        filt = PointTCF.for_capacity(1000, recorder=StatsRecorder())
+        result = measure_accuracy(filt, 500, n_negative=500)
+        row = result.as_row()
+        assert set(row) == {"filter", "fp_rate_percent", "bits_per_item", "design_fp_percent"}
+
+
+class TestTable2:
+    def test_configurations_cover_paper_filters(self):
+        names = [c["name"] for c in table2_configurations()]
+        assert names == ["GQF", "BF", "SQF", "RSQF", "Bulk TCF", "TCF", "BBF"]
+
+    @pytest.mark.slow
+    def test_run_table2_small_scale(self):
+        rows = run_table2(lg_capacity=12, n_negative=4000)
+        by_name = {row["filter"]: row for row in rows}
+        assert set(by_name) == {"GQF", "BF", "SQF", "RSQF", "Bulk TCF", "TCF", "BBF"}
+        # Quotient-filter FP rates with 5-bit remainders are ~an order of
+        # magnitude above the ~0.1-0.3 % of the other filters.
+        assert by_name["SQF"]["fp_rate_percent"] > by_name["GQF"]["fp_rate_percent"]
+        assert by_name["RSQF"]["fp_rate_percent"] > by_name["TCF"]["fp_rate_percent"]
+        # Every measured FP rate stays within an order of magnitude of the
+        # paper's Table 2 value (sampling noise and small scale allowed).
+        for name, row in by_name.items():
+            paper = row["paper_fp_percent"]
+            assert row["fp_rate_percent"] <= 10 * max(paper, 0.05)
+        # TCF-family filters trade space for speed: more bits per item than
+        # the GQF, as in the paper.
+        assert by_name["TCF"]["bits_per_item"] > by_name["GQF"]["bits_per_item"] * 0.9

@@ -1,0 +1,60 @@
+"""Tests for plain-text table/figure formatting."""
+
+from repro.analysis import reporting
+from repro.analysis.throughput import BenchmarkPoint
+from repro.gpusim.perfmodel import PerfEstimate
+
+
+def make_point(key, lg, throughput):
+    point = BenchmarkPoint(filter_key=key, display_name=key.upper(), device="V100",
+                           lg_capacity=lg)
+    point.estimates["insert"] = PerfEstimate(1.0, throughput, 100)
+    return point
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = reporting.format_table(["a", "b"], [[1, 2.5], ["x", None]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "b" in lines[2]
+        assert "2.500" in text
+        assert "-" in lines[-1]  # None rendered as dash
+
+    def test_boolean_rendering(self):
+        text = reporting.format_table(["c"], [[True], [False]])
+        assert "yes" in text
+
+    def test_empty_rows(self):
+        text = reporting.format_table(["only"], [])
+        assert "only" in text
+
+
+class TestFormatFigureSeries:
+    def test_series_grid(self):
+        results = {
+            "tcf": [make_point("tcf", 22, 2e9), make_point("tcf", 24, 2.1e9)],
+            "bf": [make_point("bf", 22, 1e9)],
+        }
+        text = reporting.format_figure_series(results, "insert", "Inserts")
+        assert "TCF" in text and "BF" in text
+        assert "22" in text and "24" in text
+        # Missing (bf @ 24) renders as a dash.
+        assert text.splitlines()[-1].count("-") >= 1
+
+    def test_scale_conversion(self):
+        results = {"tcf": [make_point("tcf", 22, 5e8)]}
+        text = reporting.format_figure_series(results, "insert", "x", unit="M ops/s", scale=1e-6)
+        assert "500.000" in text
+
+
+class TestOtherFormatters:
+    def test_boolean_matrix(self):
+        matrix = {"TCF": {"insert": True, "count": False}}
+        text = reporting.format_boolean_matrix(matrix, ["insert", "count"], "Table 1")
+        assert "yes" in text and "TCF" in text
+
+    def test_dict_rows(self):
+        rows = [{"filter": "TCF", "mops": 1234.5}]
+        text = reporting.format_dict_rows(rows, ["filter", "mops"], "Table 4", "{:.1f}")
+        assert "1234.5" in text

@@ -1,0 +1,107 @@
+"""Tests for the throughput benchmark harness."""
+
+import pytest
+
+from repro.analysis import adapters as adapter_registry
+from repro.analysis.throughput import (
+    PHASE_DELETE,
+    PHASE_INSERT,
+    PHASE_POSITIVE,
+    PHASE_RANDOM,
+    STANDARD_PHASES,
+    measure_phases,
+    run_size_sweep,
+    single_point,
+)
+from repro.gpusim.device import A100, V100
+
+
+class TestMeasurePhases:
+    def test_point_adapter_measures_all_phases(self):
+        adapter = adapter_registry.point_tcf_adapter()
+        measurements = measure_phases(adapter, 1 << 10, STANDARD_PHASES, n_queries=256)
+        assert set(measurements) == {PHASE_INSERT, PHASE_POSITIVE, PHASE_RANDOM}
+        for phase, m in measurements.items():
+            assert m.simulated_ops > 0
+            assert m.stats.cache_line_reads > 0
+
+    def test_bulk_adapter_measures(self):
+        adapter = adapter_registry.bulk_gqf_adapter()
+        measurements = measure_phases(adapter, 1 << 10, STANDARD_PHASES, n_queries=256)
+        assert measurements[PHASE_INSERT].stats.items_sorted > 0
+
+    def test_delete_phase_only_when_supported(self):
+        tcf = adapter_registry.point_tcf_adapter()
+        phases = (PHASE_INSERT, PHASE_DELETE)
+        measurements = measure_phases(tcf, 1 << 10, phases, n_queries=128)
+        assert PHASE_DELETE in measurements
+        bf = adapter_registry.bloom_adapter()
+        measurements = measure_phases(bf, 1 << 10, phases, n_queries=128)
+        assert PHASE_DELETE not in measurements
+
+
+class TestSizeSweep:
+    def test_sweep_produces_point_per_size(self):
+        adapter = adapter_registry.blocked_bloom_adapter()
+        points = run_size_sweep(adapter, V100, [22, 26], STANDARD_PHASES, sim_lg=10,
+                                n_queries=256)
+        assert [p.lg_capacity for p in points] == [22, 26]
+        for point in points:
+            assert point.device == "V100"
+            for phase in STANDARD_PHASES:
+                assert point.estimates[phase].throughput_ops_per_s > 0
+
+    def test_sqf_sweep_truncates_at_capacity_limit(self):
+        adapter = adapter_registry.sqf_adapter()
+        points = run_size_sweep(adapter, V100, [24, 26, 28, 30], STANDARD_PHASES,
+                                sim_lg=10, n_queries=256)
+        assert [p.lg_capacity for p in points] == [24, 26]
+
+    def test_single_point_rejects_oversized_filters(self):
+        adapter = adapter_registry.rsqf_adapter()
+        with pytest.raises(ValueError):
+            single_point(adapter, V100, 30, sim_lg=10, n_queries=128)
+
+    def test_throughput_helper(self):
+        adapter = adapter_registry.bloom_adapter()
+        point = single_point(adapter, V100, 24, sim_lg=10, n_queries=256)
+        assert point.throughput_bops(PHASE_INSERT) == pytest.approx(
+            point.estimates[PHASE_INSERT].throughput_ops_per_s / 1e9
+        )
+        assert point.throughput_bops("missing") == 0.0
+
+
+class TestOrderingClaims:
+    """Smoke-level checks that the modelled results keep the paper's ordering."""
+
+    @pytest.fixture(scope="class")
+    def point_results(self):
+        adapters = adapter_registry.point_api_adapters()
+        return {
+            key: single_point(adapter, V100, 26, sim_lg=10, n_queries=512)
+            for key, adapter in adapters.items()
+        }
+
+    def test_tcf_fastest_deletable_filter_for_inserts(self, point_results):
+        assert point_results["tcf"].throughput_bops(PHASE_INSERT) > \
+            point_results["gqf"].throughput_bops(PHASE_INSERT)
+
+    def test_tcf_positive_queries_beat_gqf_and_bf(self, point_results):
+        tcf = point_results["tcf"].throughput_bops(PHASE_POSITIVE)
+        assert tcf > point_results["gqf"].throughput_bops(PHASE_POSITIVE)
+        assert tcf > point_results["bf"].throughput_bops(PHASE_POSITIVE)
+
+    def test_bbf_is_fastest_overall(self, point_results):
+        """The blocked Bloom filter wins on raw speed (it gives up features)."""
+        bbf = point_results["bbf"].throughput_bops(PHASE_POSITIVE)
+        assert bbf >= point_results["tcf"].throughput_bops(PHASE_POSITIVE) * 0.9
+
+    def test_bf_random_queries_faster_than_positive(self, point_results):
+        bf = point_results["bf"]
+        assert bf.throughput_bops(PHASE_RANDOM) > bf.throughput_bops(PHASE_POSITIVE)
+
+    def test_a100_not_slower_than_v100(self):
+        adapter = adapter_registry.point_tcf_adapter()
+        cori = single_point(adapter, V100, 26, sim_lg=10, n_queries=256)
+        perlmutter = single_point(adapter, A100, 26, sim_lg=10, n_queries=256)
+        assert perlmutter.throughput_bops(PHASE_INSERT) >= cori.throughput_bops(PHASE_INSERT)

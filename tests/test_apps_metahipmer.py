@@ -1,0 +1,115 @@
+"""Tests for the MetaHipMer k-mer analysis phase (Table 3)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.metahipmer import (
+    HASH_TABLE_ENTRY_BYTES,
+    KmerAnalysisPhase,
+    SimpleKmerHashTable,
+    dataset_kmer_statistics,
+    memory_reduction,
+    run_table3,
+    run_table3_row,
+)
+from repro.workloads import kmer as kmer_mod
+
+
+class TestSimpleKmerHashTable:
+    def test_add_and_count(self):
+        table = SimpleKmerHashTable()
+        table.add(5)
+        table.add(5, 2)
+        assert table.count(5) == 3
+        assert table.count(9) == 0
+        assert table.n_entries == 1
+        assert table.nbytes == HASH_TABLE_ENTRY_BYTES
+
+
+class TestKmerAnalysisPhase:
+    @pytest.fixture
+    def read_set(self):
+        genome = kmer_mod.random_genome(1500, seed=10)
+        return kmer_mod.generate_reads(genome, 100, 6.0, error_rate=0.01, seed=10)
+
+    def test_tcf_keeps_singletons_out_of_hash_table(self, read_set):
+        with_tcf = KmerAnalysisPhase(expected_kmers=20_000, use_tcf=True)
+        without = KmerAnalysisPhase(expected_kmers=20_000, use_tcf=False)
+        with_tcf.process_read_set(read_set)
+        without.process_read_set(read_set)
+        assert with_tcf.hash_table.n_entries < without.hash_table.n_entries
+        assert with_tcf.hash_table.nbytes < without.hash_table.nbytes
+
+    def test_non_singleton_counts_preserved(self, read_set):
+        """Filtering must not change the counts of k-mers seen 2+ times."""
+        with_tcf = KmerAnalysisPhase(expected_kmers=20_000, use_tcf=True)
+        without = KmerAnalysisPhase(expected_kmers=20_000, use_tcf=False)
+        with_tcf.process_read_set(read_set)
+        without.process_read_set(read_set)
+        truth = {k: c for k, c in without.non_singleton_counts().items() if c >= 2}
+        filtered = with_tcf.non_singleton_counts()
+        for kmer_value, count in truth.items():
+            assert filtered.get(kmer_value, 0) == count
+
+    def test_hash_table_contains_no_singletons_with_tcf(self, read_set):
+        phase = KmerAnalysisPhase(expected_kmers=20_000, use_tcf=True)
+        phase.process_read_set(read_set)
+        assert all(count >= 2 for count in phase.non_singleton_counts().values())
+
+    def test_memory_report(self, read_set):
+        phase = KmerAnalysisPhase(expected_kmers=20_000, use_tcf=True)
+        phase.process_read_set(read_set)
+        report = phase.memory_report()
+        assert report["tcf_bytes"] > 0
+        assert report["hash_table_bytes"] > 0
+
+    def test_total_memory_reduced_when_singletons_dominate(self, read_set):
+        with_tcf = KmerAnalysisPhase(expected_kmers=20_000, use_tcf=True)
+        without = KmerAnalysisPhase(expected_kmers=20_000, use_tcf=False)
+        with_tcf.process_read_set(read_set)
+        without.process_read_set(read_set)
+        total_with = sum(with_tcf.memory_report().values())
+        total_without = sum(without.memory_report().values())
+        assert total_with < total_without
+
+
+class TestTable3:
+    def test_dataset_statistics_sane(self):
+        for name in ("WA", "Rhizo"):
+            stats = dataset_kmer_statistics(name)
+            assert 0.5 < stats["singleton_fraction"] < 0.95
+            assert stats["distinct_kmers"] > stats["non_singleton_kmers"]
+
+    def test_rows_reproduce_paper_totals_within_factor(self):
+        rows = run_table3()
+        by_key = {(r.dataset, r.use_tcf): r for r in rows}
+        # WA with TCF: paper reports 607 GB total; without: 1742 GB.
+        wa_tcf = by_key[("WA", True)].total_bytes / 1e9
+        wa_no = by_key[("WA", False)].total_bytes / 1e9
+        assert 0.5 * 607 < wa_tcf < 2.0 * 607
+        assert 0.5 * 1742 < wa_no < 2.0 * 1742
+        rhizo_tcf = by_key[("Rhizo", True)].total_bytes / 1e9
+        rhizo_no = by_key[("Rhizo", False)].total_bytes / 1e9
+        assert rhizo_tcf < rhizo_no
+
+    def test_memory_reduction_substantial(self):
+        """Paper: the TCF reduces MetaHipMer memory use by ~38 % overall
+        (much more within the k-mer analysis phase itself)."""
+        rows = run_table3()
+        reductions = memory_reduction(rows)
+        assert reductions["WA"] > 0.3
+        assert reductions["Rhizo"] > 0.3
+
+    def test_measured_singleton_fraction_can_override(self):
+        row_default = run_table3_row("WA", use_tcf=True)
+        row_low = run_table3_row("WA", use_tcf=True, measured_singleton_fraction=0.3)
+        assert row_low.hash_table_bytes > row_default.hash_table_bytes
+
+    def test_row_formatting(self):
+        row = run_table3_row("Rhizo", use_tcf=True)
+        as_row = row.as_row()
+        assert as_row["method"] == "TCF"
+        assert as_row["nodes"] == 64
+        assert as_row["total_mem_gb"] == pytest.approx(
+            as_row["tcf_mem_gb"] + as_row["ht_mem_gb"]
+        )

@@ -1,0 +1,85 @@
+"""Tests for the GPU Bloom filter baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bloom import PAPER_BITS_PER_ITEM, PAPER_NUM_HASHES, BloomFilter
+from repro.core.exceptions import UnsupportedOperationError
+
+
+@pytest.fixture
+def bf(recorder):
+    return BloomFilter.for_capacity(2000, recorder=recorder)
+
+
+class TestBloomFilter:
+    def test_paper_configuration(self):
+        assert PAPER_NUM_HASHES == 7
+        assert PAPER_BITS_PER_ITEM == pytest.approx(10.1)
+
+    def test_no_false_negatives(self, bf, keys_1k):
+        for key in keys_1k:
+            bf.insert(int(key))
+        assert all(bf.query(int(k)) for k in keys_1k)
+
+    def test_false_positive_rate_close_to_analytic(self, recorder, keys_4k, negative_keys_1k):
+        bf = BloomFilter.for_capacity(4096, recorder=recorder)
+        for key in keys_4k:
+            bf.insert(int(key))
+        measured = sum(bf.query(int(k)) for k in negative_keys_1k) / negative_keys_1k.size
+        analytic = bf.false_positive_rate
+        assert measured <= 4 * analytic + 0.01
+        assert analytic < 0.01
+
+    def test_deletion_and_counting_unsupported(self, bf):
+        with pytest.raises(UnsupportedOperationError):
+            bf.delete(1)
+        with pytest.raises(UnsupportedOperationError):
+            bf.count(1)
+        with pytest.raises(UnsupportedOperationError):
+            bf.get_value(1)
+        with pytest.raises(UnsupportedOperationError):
+            bf.insert(1, value=3)
+
+    def test_insert_touches_k_lines(self, bf, recorder, keys_1k):
+        recorder.reset()
+        for key in keys_1k[:100]:
+            bf.insert(int(key))
+        assert recorder.total.cache_line_reads / 100 >= bf.n_hashes * 0.9
+        assert recorder.total.atomic_ops == 100 * bf.n_hashes
+
+    def test_positive_query_touches_k_lines(self, bf, recorder, keys_1k):
+        for key in keys_1k[:100]:
+            bf.insert(int(key))
+        recorder.reset()
+        for key in keys_1k[:100]:
+            bf.query(int(key))
+        assert recorder.total.cache_line_reads / 100 >= bf.n_hashes * 0.9
+
+    def test_negative_query_terminates_early(self, bf, recorder, keys_1k, negative_keys_1k):
+        for key in keys_1k[:200]:
+            bf.insert(int(key))
+        recorder.reset()
+        for key in negative_keys_1k[:100]:
+            bf.query(int(key))
+        # With a mostly-empty filter, the first or second probe hits a zero.
+        assert recorder.total.cache_line_reads / 100 < bf.n_hashes / 2
+
+    def test_space_accounting(self, recorder):
+        bf = BloomFilter.for_capacity(10_000, recorder=recorder)
+        assert bf.nbytes == pytest.approx(10_000 * 10.1 / 8, rel=0.05)
+
+    def test_bulk_wrappers(self, bf, keys_1k):
+        bf.bulk_insert(keys_1k[:100])
+        assert bf.bulk_query(keys_1k[:100]).all()
+
+    def test_capabilities(self):
+        caps = BloomFilter.capabilities()
+        assert caps.point_insert and caps.point_query
+        assert not caps.point_delete and not caps.point_count
+
+    def test_validation(self, recorder):
+        with pytest.raises(ValueError):
+            BloomFilter(0, recorder=recorder)
+        with pytest.raises(ValueError):
+            BloomFilter(100, 0, recorder=recorder)

@@ -1,0 +1,90 @@
+"""Tests for the Thrust-like device sorting/reduction primitives."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.sorting import (
+    device_exclusive_scan,
+    device_lower_bound,
+    device_reduce_by_key,
+    device_sort,
+    device_sort_by_key,
+    device_unique_counts,
+)
+from repro.gpusim.stats import StatsRecorder
+
+
+class TestDeviceSort:
+    def test_sorts_correctly(self, recorder, rng):
+        keys = rng.integers(0, 1000, 500).astype(np.uint64)
+        out = device_sort(keys, recorder)
+        assert np.array_equal(out, np.sort(keys))
+
+    def test_accounts_radix_traffic(self, recorder):
+        keys = np.arange(1000, dtype=np.uint64)
+        device_sort(keys, recorder)
+        assert recorder.total.items_sorted == 1000
+        assert recorder.total.coalesced_bytes_read > 0
+        assert recorder.total.kernel_launches > 0
+
+    def test_sort_by_key_keeps_pairs_aligned(self, recorder, rng):
+        keys = rng.integers(0, 100, 200).astype(np.int64)
+        values = np.arange(200)
+        sorted_keys, sorted_values = device_sort_by_key(keys, values, recorder)
+        assert np.array_equal(sorted_keys, np.sort(keys))
+        # Each value must still map to its original key.
+        assert np.array_equal(keys[sorted_values], sorted_keys)
+
+    def test_sort_by_key_shape_mismatch(self, recorder):
+        with pytest.raises(ValueError):
+            device_sort_by_key(np.arange(3), np.arange(4), recorder)
+
+
+class TestReduceByKey:
+    def test_counts_duplicates(self, recorder):
+        keys = np.array([1, 1, 2, 3, 3, 3], dtype=np.uint64)
+        unique, counts = device_reduce_by_key(keys, None, recorder)
+        assert list(unique) == [1, 2, 3]
+        assert list(counts) == [2, 1, 3]
+
+    def test_sums_values(self, recorder):
+        keys = np.array([5, 5, 9], dtype=np.uint64)
+        values = np.array([2, 3, 10], dtype=np.int64)
+        unique, sums = device_reduce_by_key(keys, values, recorder)
+        assert list(unique) == [5, 9]
+        assert list(sums) == [5, 10]
+
+    def test_empty_input(self, recorder):
+        unique, counts = device_reduce_by_key(np.array([], dtype=np.uint64), None, recorder)
+        assert unique.size == 0 and counts.size == 0
+
+    def test_matches_numpy_unique(self, recorder, rng):
+        keys = np.sort(rng.integers(0, 50, 300).astype(np.uint64))
+        unique, counts = device_reduce_by_key(keys, None, recorder)
+        ref_unique, ref_counts = np.unique(keys, return_counts=True)
+        assert np.array_equal(unique, ref_unique)
+        assert np.array_equal(counts, ref_counts)
+
+    def test_unique_counts_wrapper(self, recorder, rng):
+        keys = rng.integers(0, 20, 100).astype(np.uint64)
+        unique, counts = device_unique_counts(keys, recorder)
+        ref_unique, ref_counts = np.unique(keys, return_counts=True)
+        assert np.array_equal(unique, ref_unique)
+        assert np.array_equal(counts, ref_counts)
+
+
+class TestSearchAndScan:
+    def test_lower_bound_matches_searchsorted(self, recorder, rng):
+        haystack = np.sort(rng.integers(0, 10_000, 1000).astype(np.int64))
+        probes = rng.integers(0, 10_000, 100).astype(np.int64)
+        out = device_lower_bound(haystack, probes, recorder)
+        assert np.array_equal(out, np.searchsorted(haystack, probes, side="left"))
+
+    def test_exclusive_scan(self, recorder):
+        values = np.array([3, 1, 4, 1, 5], dtype=np.int64)
+        out = device_exclusive_scan(values, recorder)
+        assert list(out) == [0, 3, 4, 8, 9]
+
+    def test_exclusive_scan_single_element(self, recorder):
+        out = device_exclusive_scan(np.array([7]), recorder)
+        assert list(out) == [0]

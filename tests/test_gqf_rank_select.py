@@ -1,0 +1,168 @@
+"""Tests for bit vectors and rank/select."""
+
+import numpy as np
+import pytest
+
+from repro.core.gqf.rank_select import Bitvector, popcount64, select64
+
+
+class TestWordPrimitives:
+    @pytest.mark.parametrize("word, expected", [(0, 0), (1, 1), (0xFF, 8), (2**64 - 1, 64)])
+    def test_popcount64_scalar(self, word, expected):
+        assert popcount64(word) == expected
+
+    def test_popcount64_vector(self):
+        words = np.array([0, 1, 3, 0xFFFF], dtype=np.uint64)
+        assert list(popcount64(words)) == [0, 1, 2, 16]
+
+    def test_select64(self):
+        assert select64(0b1, 1) == 0
+        assert select64(0b1010, 1) == 1
+        assert select64(0b1010, 2) == 3
+        assert select64(0b1010, 3) == 64  # not found
+
+    def test_select64_invalid_k(self):
+        with pytest.raises(ValueError):
+            select64(1, 0)
+
+
+class TestBitvectorBasics:
+    def test_set_get_clear(self):
+        bv = Bitvector(100)
+        assert not bv.get(5)
+        bv.set(5)
+        assert bv.get(5)
+        bv.clear(5)
+        assert not bv.get(5)
+
+    def test_count(self):
+        bv = Bitvector(64)
+        for i in (1, 5, 9):
+            bv.set(i)
+        assert bv.count() == 3
+
+    def test_clear_range(self):
+        bv = Bitvector(32)
+        for i in range(10):
+            bv.set(i)
+        bv.clear_range(2, 8)
+        assert bv.count() == 4
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            Bitvector(0)
+
+
+class TestRankSelect:
+    def test_rank_is_inclusive(self):
+        bv = Bitvector(32)
+        bv.set(0)
+        bv.set(10)
+        assert bv.rank(-1) == 0
+        assert bv.rank(0) == 1
+        assert bv.rank(9) == 1
+        assert bv.rank(10) == 2
+        assert bv.rank(31) == 2
+
+    def test_select_is_one_indexed(self):
+        bv = Bitvector(32)
+        bv.set(3)
+        bv.set(17)
+        assert bv.select(1) == 3
+        assert bv.select(2) == 17
+        assert bv.select(3) is None
+        with pytest.raises(ValueError):
+            bv.select(0)
+
+    def test_rank_select_inverse_property(self, rng):
+        bv = Bitvector(256)
+        positions = sorted(rng.choice(256, size=40, replace=False))
+        for p in positions:
+            bv.set(int(p))
+        for k in range(1, len(positions) + 1):
+            pos = bv.select(k)
+            assert pos == positions[k - 1]
+            assert bv.rank(pos) == k
+
+    def test_select_from(self):
+        bv = Bitvector(64)
+        for p in (5, 20, 40):
+            bv.set(p)
+        assert bv.select_from(1, 10) == 20
+        assert bv.select_from(2, 10) == 40
+        assert bv.select_from(3, 10) is None
+
+
+class TestNavigation:
+    def test_next_set_unset(self):
+        bv = Bitvector(16)
+        bv.set(4)
+        assert bv.next_set(0) == 4
+        assert bv.next_set(5) is None
+        assert bv.next_unset(4) == 5
+        bv2 = Bitvector(4)
+        for i in range(4):
+            bv2.set(i)
+        assert bv2.next_unset(0) is None
+
+    def test_prev_unset(self):
+        bv = Bitvector(16)
+        for i in range(5, 10):
+            bv.set(i)
+        assert bv.prev_unset(9) == 4
+        assert bv.prev_unset(3) == 3
+        full = Bitvector(4)
+        for i in range(4):
+            full.set(i)
+        assert full.prev_unset(3) is None
+
+    def test_set_positions(self):
+        bv = Bitvector(32)
+        for p in (2, 8, 30):
+            bv.set(p)
+        assert list(bv.set_positions(0, 32)) == [2, 8, 30]
+        assert list(bv.set_positions(3, 30)) == [8]
+
+
+class TestShifting:
+    def test_shift_right_one(self):
+        bv = Bitvector(16)
+        bv.set(2)
+        bv.set(4)
+        bv.shift_right_one(2, 6)
+        assert not bv.get(2)
+        assert bv.get(3)
+        assert bv.get(5)
+
+    def test_shift_right_out_of_bounds(self):
+        bv = Bitvector(8)
+        with pytest.raises(IndexError):
+            bv.shift_right_one(0, 8)
+
+    def test_shift_left_one(self):
+        bv = Bitvector(16)
+        bv.set(5)
+        bv.set(7)
+        bv.shift_left_one(5, 9)
+        assert bv.get(4)
+        assert bv.get(6)
+        assert not bv.get(8)
+
+    def test_shift_empty_range_is_noop(self):
+        bv = Bitvector(8)
+        bv.set(1)
+        bv.shift_right_one(5, 5)
+        assert bv.get(1)
+
+
+class TestPackedRoundTrip:
+    def test_words_round_trip(self, rng):
+        bv = Bitvector(200)
+        for p in rng.choice(200, size=50, replace=False):
+            bv.set(int(p))
+        words = bv.to_words()
+        recovered = Bitvector.from_words(words, 200)
+        assert np.array_equal(bv.bits, recovered.bits)
+
+    def test_packed_size(self):
+        assert Bitvector(200).nbytes_packed == 25

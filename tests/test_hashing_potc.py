@@ -1,0 +1,84 @@
+"""Tests for power-of-two-choice hashing."""
+
+import numpy as np
+import pytest
+
+from repro.hashing import potc
+
+
+class TestDerive:
+    def test_scalar_output_types(self):
+        h = potc.derive(12345, 64, 16)
+        assert isinstance(h.primary, int)
+        assert 0 <= h.primary < 64
+        assert 0 <= h.secondary < 64
+        assert 2 <= h.fingerprint < 2**16
+
+    def test_array_output_shapes(self, keys_1k):
+        h = potc.derive(keys_1k, 128, 16)
+        assert h.primary.shape == keys_1k.shape
+        assert h.secondary.shape == keys_1k.shape
+        assert h.fingerprint.shape == keys_1k.shape
+
+    def test_blocks_in_range(self, keys_1k):
+        h = potc.derive(keys_1k, 37, 12)
+        assert np.all((0 <= h.primary) & (h.primary < 37))
+        assert np.all((0 <= h.secondary) & (h.secondary < 37))
+
+    def test_two_choices_differ(self, keys_1k):
+        h = potc.derive(keys_1k, 64, 16)
+        assert np.all(h.primary != h.secondary)
+
+    def test_fingerprints_avoid_reserved_sentinels(self, keys_4k):
+        h = potc.derive(keys_4k, 64, 8, reserved_values=(0, 1))
+        assert not np.any(h.fingerprint == 0)
+        assert not np.any(h.fingerprint == 1)
+
+    def test_deterministic(self, keys_1k):
+        a = potc.derive(keys_1k, 64, 16)
+        b = potc.derive(keys_1k, 64, 16)
+        assert np.array_equal(a.primary, b.primary)
+        assert np.array_equal(a.fingerprint, b.fingerprint)
+
+    def test_primary_spread_is_uniformish(self, keys_4k):
+        n_blocks = 64
+        h = potc.derive(keys_4k, n_blocks, 16)
+        counts = np.bincount(h.primary, minlength=n_blocks)
+        expected = keys_4k.size / n_blocks
+        assert counts.max() < expected * 2
+        assert counts.min() > expected * 0.4
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            potc.derive(1, 0, 16)
+        with pytest.raises(ValueError):
+            potc.derive(1, 10, 0)
+        with pytest.raises(ValueError):
+            potc.derive(1, 10, 64)
+
+
+class TestLoadBounds:
+    def test_expected_max_load_above_average(self):
+        assert potc.expected_max_load(10_000, 100) > 100.0
+
+    def test_potc_bound_below_single_choice_bound(self):
+        potc_bound = potc.expected_max_load(100_000, 1000)
+        single_bound = potc.single_choice_expected_max_load(100_000, 1000)
+        assert potc_bound < single_bound
+
+    def test_single_block_degenerate(self):
+        assert potc.expected_max_load(50, 1) == 50.0
+
+    def test_invalid_blocks(self):
+        with pytest.raises(ValueError):
+            potc.expected_max_load(10, 0)
+
+    def test_simulated_balls_in_bins_respects_bound(self, keys_4k):
+        """Greedy two-choice placement stays under the analytical bound."""
+        n_blocks = 128
+        h = potc.derive(keys_4k, n_blocks, 16)
+        loads = np.zeros(n_blocks, dtype=int)
+        for p, s in zip(h.primary, h.secondary):
+            target = p if loads[p] <= loads[s] else s
+            loads[target] += 1
+        assert loads.max() <= potc.expected_max_load(keys_4k.size, n_blocks)

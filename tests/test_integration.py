@@ -1,0 +1,135 @@
+"""Cross-module integration tests.
+
+Every filter is driven through the same end-to-end scenario and checked
+against a Python-set / Counter oracle; the bulk and point variants of the
+paper's filters are checked for agreement; and the full benchmark pipeline
+(functional simulation -> perf model -> report formatting) is executed end
+to end at a reduced scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import adapters, figures, reporting
+from repro.analysis.throughput import PHASE_INSERT, STANDARD_PHASES, single_point
+from repro.baselines import (
+    BlockedBloomFilter,
+    BloomFilter,
+    CPUCountingQuotientFilter,
+    CPUVectorQuotientFilter,
+    RankSelectQuotientFilter,
+    StandardQuotientFilter,
+)
+from repro.core.gqf import BulkGQF, PointGQF
+from repro.core.tcf import BulkTCF, PointTCF
+from repro.gpusim.device import V100
+from repro.gpusim.stats import StatsRecorder
+from repro.hashing.xorwow import generate_disjoint_keys, generate_keys
+
+
+N_ITEMS = 900
+KEYS = generate_keys(N_ITEMS, seed=0x1357)
+NEGATIVES = generate_disjoint_keys(600, seed=0x2468, avoid=KEYS)
+
+
+def build_all_filters():
+    """One instance of every filter in the evaluation, sized for ~1k items."""
+    rec = StatsRecorder
+    return {
+        "TCF": PointTCF.for_capacity(1500, recorder=rec()),
+        "Bulk TCF": BulkTCF.for_capacity(1500, recorder=rec()),
+        "GQF": PointGQF(11, 8, region_slots=512, recorder=rec()),
+        "Bulk GQF": BulkGQF(11, 8, region_slots=512, recorder=rec()),
+        "BF": BloomFilter.for_capacity(1500, recorder=rec()),
+        "BBF": BlockedBloomFilter.for_capacity(1500, recorder=rec()),
+        "SQF": StandardQuotientFilter(11, 5, recorder=rec()),
+        "RSQF": RankSelectQuotientFilter(11, 5, recorder=rec()),
+        "CPU CQF": CPUCountingQuotientFilter(11, 8, recorder=rec()),
+        "CPU VQF": CPUVectorQuotientFilter.for_capacity(1500, recorder=rec()),
+    }
+
+
+class TestEveryFilterAgainstOracle:
+    @pytest.fixture(scope="class")
+    def filled(self):
+        filters = build_all_filters()
+        for filt in filters.values():
+            filt.bulk_insert(KEYS)
+        return filters
+
+    def test_no_false_negatives_anywhere(self, filled):
+        for name, filt in filled.items():
+            results = filt.bulk_query(KEYS)
+            assert results.all(), f"{name} returned a false negative"
+
+    def test_false_positive_rates_bounded(self, filled):
+        for name, filt in filled.items():
+            fp = float(np.mean(filt.bulk_query(NEGATIVES)))
+            bound = max(0.02, 6 * filt.false_positive_rate)
+            assert fp <= bound, f"{name} FP rate {fp:.4f} exceeds {bound:.4f}"
+
+    def test_item_counts_reported(self, filled):
+        for name, filt in filled.items():
+            assert filt.n_items >= N_ITEMS * 0.98, name
+
+
+class TestPointBulkAgreement:
+    def test_tcf_point_and_bulk_agree_on_membership(self):
+        point = PointTCF.for_capacity(1500, recorder=StatsRecorder())
+        bulk = BulkTCF.for_capacity(1500, recorder=StatsRecorder())
+        for key in KEYS:
+            point.insert(int(key))
+        bulk.bulk_insert(KEYS)
+        assert all(point.query(int(k)) for k in KEYS)
+        assert bulk.bulk_query(KEYS).all()
+
+    def test_gqf_point_and_bulk_store_identical_fingerprints(self):
+        point = PointGQF(11, 8, region_slots=512, recorder=StatsRecorder())
+        bulk = BulkGQF(11, 8, region_slots=512, recorder=StatsRecorder())
+        for key in KEYS:
+            point.insert(int(key))
+        bulk.bulk_insert(KEYS)
+        assert sorted(point.core.iter_fingerprints()) == sorted(bulk.core.iter_fingerprints())
+
+    def test_gqf_counts_match_python_counter(self):
+        rng = np.random.default_rng(77)
+        repeats = rng.integers(1, 6, size=300)
+        bulk = BulkGQF(11, 8, region_slots=512, recorder=StatsRecorder())
+        batch = np.repeat(KEYS[:300], repeats)
+        bulk.bulk_insert(batch)
+        counts = bulk.bulk_count(KEYS[:300])
+        assert np.all(counts >= repeats)
+        # Over-counting only ever comes from fingerprint collisions, which are
+        # rare at this scale.
+        assert np.mean(counts == repeats) > 0.97
+
+
+class TestDeletionSemantics:
+    @pytest.mark.parametrize("factory", [
+        lambda: PointTCF.for_capacity(1500, recorder=StatsRecorder()),
+        lambda: BulkTCF.for_capacity(1500, recorder=StatsRecorder()),
+        lambda: PointGQF(11, 8, region_slots=512, recorder=StatsRecorder()),
+        lambda: BulkGQF(11, 8, region_slots=512, recorder=StatsRecorder()),
+        lambda: StandardQuotientFilter(11, 5, recorder=StatsRecorder()),
+    ])
+    def test_delete_half_keeps_other_half(self, factory):
+        filt = factory()
+        filt.bulk_insert(KEYS[:600])
+        removed = filt.bulk_delete(KEYS[:300])
+        assert removed == 300
+        assert filt.bulk_query(KEYS[300:600]).all()
+
+
+class TestBenchmarkPipeline:
+    def test_full_pipeline_runs_and_formats(self):
+        adapter = adapters.point_tcf_adapter()
+        point = single_point(adapter, V100, 24, STANDARD_PHASES, sim_lg=10, n_queries=256)
+        results = {"tcf": [point]}
+        text = reporting.format_figure_series(results, PHASE_INSERT, "smoke")
+        assert "TCF" in text and "24" in text
+        assert point.estimates[PHASE_INSERT].throughput_ops_per_s > 1e8
+
+    def test_speedup_helper_on_real_sweep(self):
+        results = figures.figure3_point_api(V100, [24], sim_lg=10, n_queries=256)
+        speedups = figures.speedup_over(results, "tcf", "bf", PHASE_INSERT)
+        assert len(speedups) == 1 and speedups[0] > 0.5

@@ -1,0 +1,92 @@
+"""Tests for the TCF's double-hashing backing table."""
+
+import numpy as np
+import pytest
+
+from repro.core.tcf.backing import BackingTable
+from repro.core.tcf.config import TCFConfig
+
+
+@pytest.fixture
+def backing(recorder):
+    return BackingTable(8, TCFConfig(fingerprint_bits=16, block_size=16), recorder)
+
+
+class TestBackingTable:
+    def test_insert_and_query(self, backing, keys_1k):
+        for key in keys_1k[:20]:
+            assert backing.insert(int(key))
+        for key in keys_1k[:20]:
+            assert backing.contains(int(key))
+
+    def test_absent_key_not_found(self, backing, keys_1k, negative_keys_1k):
+        for key in keys_1k[:10]:
+            backing.insert(int(key))
+        for key in negative_keys_1k[:50]:
+            assert not backing.contains(int(key))
+
+    def test_no_false_positives_ever(self, backing, keys_1k, negative_keys_1k):
+        """The backing table stores full keys, so it adds zero FP rate."""
+        for key in keys_1k[:40]:
+            backing.insert(int(key))
+        hits = sum(backing.contains(int(k)) for k in negative_keys_1k)
+        assert hits == 0
+
+    def test_delete(self, backing, keys_1k):
+        key = int(keys_1k[0])
+        backing.insert(key)
+        assert backing.delete(key)
+        assert not backing.contains(key)
+        assert not backing.delete(key)
+        assert backing.n_items == 0
+
+    def test_values_round_trip(self, recorder, keys_1k):
+        config = TCFConfig(fingerprint_bits=16, block_size=16, value_bits=4)
+        backing = BackingTable(8, config, recorder)
+        backing.insert(int(keys_1k[0]), value=11)
+        assert backing.query(int(keys_1k[0])) == 11
+
+    def test_fills_up_and_reports_failure(self, recorder, keys_4k):
+        backing = BackingTable(2, TCFConfig(fingerprint_bits=16, block_size=16), recorder)
+        inserted = 0
+        failed = False
+        for key in keys_4k:
+            if backing.insert(int(key)):
+                inserted += 1
+            else:
+                failed = True
+                break
+        assert failed
+        assert inserted <= backing.n_slots
+
+    def test_sentinel_keys_are_displaced_not_lost(self, backing):
+        backing.insert(0)
+        backing.insert(1)
+        assert backing.contains(0)
+        assert backing.contains(1)
+
+    def test_load_factor(self, backing, keys_1k):
+        assert backing.load_factor == 0.0
+        backing.insert(int(keys_1k[0]))
+        assert 0 < backing.load_factor <= 1
+
+    def test_iter_items(self, backing, keys_1k):
+        for key in keys_1k[:5]:
+            backing.insert(int(key), 0)
+        assert len(list(backing.iter_items())) == 5
+
+    def test_tombstone_does_not_hide_later_items(self, recorder, keys_4k):
+        """Deleting an early item must not break lookups of items that were
+        displaced further along their probe sequence."""
+        backing = BackingTable(4, TCFConfig(fingerprint_bits=16, block_size=16), recorder)
+        inserted = []
+        for key in keys_4k:
+            if not backing.insert(int(key)):
+                break
+            inserted.append(int(key))
+        # Delete the first half, then verify every remaining item is found.
+        half = len(inserted) // 2
+        for key in inserted[:half]:
+            assert backing.delete(key)
+        for key in inserted[half:]:
+            assert backing.contains(key)

@@ -1,0 +1,118 @@
+"""Tests for cooperative-group block operations (paper Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.tcf.block import BlockedTable
+from repro.core.tcf.config import EMPTY_SLOT, TOMBSTONE_SLOT, TCFConfig
+
+
+@pytest.fixture
+def table(recorder):
+    return BlockedTable(8, TCFConfig(fingerprint_bits=16, block_size=16, cg_size=4), recorder)
+
+
+class TestBlockedTableBasics:
+    def test_sizes(self, table):
+        assert table.n_slots == 8 * 16
+        assert table.nbytes == 8 * 16 * 2
+
+    def test_block_bounds(self, table):
+        assert table.block_bounds(0) == (0, 16)
+        assert table.block_bounds(3) == (48, 64)
+        with pytest.raises(IndexError):
+            table.block_bounds(8)
+
+    def test_pack_unpack_without_values(self, table):
+        word = table.pack(1234)
+        assert table.unpack(word) == (1234, 0)
+
+    def test_pack_unpack_with_values(self, recorder):
+        config = TCFConfig(fingerprint_bits=16, block_size=16, value_bits=8)
+        table = BlockedTable(4, config, recorder)
+        word = table.pack(500, 77)
+        assert table.unpack(word) == (500, 77)
+
+
+class TestBlockInsertQueryDelete:
+    def test_insert_then_query(self, table):
+        assert table.insert(2, 999)
+        assert table.contains(2, 999)
+        assert not table.contains(2, 1000)
+        assert not table.contains(3, 999)
+
+    def test_insert_returns_false_when_block_full(self, table):
+        for fp in range(2, 2 + 16):
+            assert table.insert(0, fp)
+        assert not table.insert(0, 5000)
+
+    def test_fill_counts_live_slots(self, table):
+        assert table.block_fill(1) == 0
+        table.insert(1, 100)
+        table.insert(1, 101)
+        assert table.block_fill(1) == 2
+        assert table.block_free(1) == 14
+
+    def test_delete_tombstones_one_copy(self, table):
+        table.insert(4, 321)
+        assert table.delete(4, 321)
+        assert not table.contains(4, 321)
+        assert not table.delete(4, 321)
+
+    def test_tombstone_slot_is_reusable(self, table):
+        for fp in range(2, 18):
+            table.insert(5, fp)
+        assert not table.insert(5, 5000)
+        assert table.delete(5, 7)
+        assert table.insert(5, 5000)
+        assert table.contains(5, 5000)
+
+    def test_duplicate_fingerprints_occupy_two_slots(self, table):
+        table.insert(6, 42)
+        table.insert(6, 42)
+        assert table.block_fill(6) == 2
+        assert table.delete(6, 42)
+        assert table.contains(6, 42)  # one copy remains
+
+    def test_query_returns_value(self, recorder):
+        config = TCFConfig(fingerprint_bits=16, block_size=16, value_bits=4)
+        table = BlockedTable(4, config, recorder)
+        table.insert(0, 300, value=9)
+        assert table.query(0, 300) == 9
+
+    def test_insert_counts_cas_and_line_read(self, table, recorder):
+        recorder.reset()
+        table.insert(0, 77)
+        assert recorder.total.atomic_ops >= 1
+        assert recorder.total.cache_line_reads >= 1
+
+    def test_query_touches_one_line(self, table, recorder):
+        table.insert(0, 77)
+        recorder.reset()
+        table.query(0, 77)
+        assert recorder.total.cache_line_reads == 1
+        assert recorder.total.cache_line_writes == 0
+
+
+class TestEnumerationAndFills:
+    def test_iter_live_slots(self, table):
+        table.insert(0, 100)
+        table.insert(3, 200)
+        entries = list(table.iter_live_slots())
+        blocks = {b for b, _, _ in entries}
+        fps = {fp for _, fp, _ in entries}
+        assert blocks == {0, 3}
+        assert fps == {100, 200}
+
+    def test_live_count_and_fills(self, table):
+        for fp in range(2, 7):
+            table.insert(1, fp)
+        assert table.live_count() == 5
+        fills = table.fills()
+        assert fills[1] == 5
+        assert fills.sum() == 5
+
+    def test_empty_and_tombstone_not_counted(self, table):
+        table.insert(2, 50)
+        table.delete(2, 50)
+        assert table.live_count() == 0

@@ -1,0 +1,97 @@
+"""Tests for TCF configuration."""
+
+import numpy as np
+import pytest
+
+from repro.core.tcf.config import (
+    BULK_TCF_DEFAULT,
+    FIGURE5_CG_SIZES,
+    FIGURE5_VARIANTS,
+    GPU_CACHE_LINE_BYTES,
+    POINT_TCF_DEFAULT,
+    TCFConfig,
+)
+
+
+class TestTCFConfig:
+    def test_default_point_config(self):
+        assert POINT_TCF_DEFAULT.fingerprint_bits == 16
+        assert POINT_TCF_DEFAULT.block_size == 16
+        assert POINT_TCF_DEFAULT.block_bytes <= GPU_CACHE_LINE_BYTES
+
+    def test_default_bulk_config_fills_a_cache_line(self):
+        assert BULK_TCF_DEFAULT.block_size == 64
+        assert BULK_TCF_DEFAULT.block_bytes == GPU_CACHE_LINE_BYTES
+
+    def test_block_must_fit_in_cache_line(self):
+        with pytest.raises(ValueError):
+            TCFConfig(fingerprint_bits=16, block_size=128)
+
+    def test_slot_dtype_by_width(self):
+        assert TCFConfig(fingerprint_bits=8, block_size=8).slot_dtype == np.dtype(np.uint16)
+        assert TCFConfig(fingerprint_bits=16, block_size=16).slot_dtype == np.dtype(np.uint16)
+        assert TCFConfig(fingerprint_bits=16, block_size=16, value_bits=8).slot_dtype == np.dtype(np.uint32)
+
+    def test_slot_bits_respects_minimum_cas_width(self):
+        assert TCFConfig(fingerprint_bits=8, block_size=8).slot_bits == 16
+        assert TCFConfig(fingerprint_bits=12, block_size=8).slot_bits == 16
+
+    def test_cas_spans_slots_for_12_bit_fingerprints(self):
+        assert TCFConfig(fingerprint_bits=12, block_size=8).cas_spans_slots
+        assert not TCFConfig(fingerprint_bits=16, block_size=16).cas_spans_slots
+
+    def test_false_positive_rate_formula(self):
+        config = TCFConfig(fingerprint_bits=16, block_size=16)
+        assert config.false_positive_rate == pytest.approx(2 * 16 / 2**16)
+
+    def test_paper_error_rate_claim_for_16_slot_blocks(self):
+        """Paper: 16-bit keys with block size 16 give ~0.05% error."""
+        config = TCFConfig(fingerprint_bits=16, block_size=16)
+        assert 0.0003 < config.false_positive_rate < 0.0006
+
+    def test_bulk_error_rate_claim(self):
+        """Paper: bulk filter (block 128 bytes, 16-bit keys) has ~0.3% error...
+
+        with 64 slots of 16 bits the analytic rate is 2*64/2^16 ≈ 0.2 %,
+        consistent with the 0.36 % measured in Table 2.
+        """
+        assert 0.001 < BULK_TCF_DEFAULT.false_positive_rate < 0.004
+
+    def test_label(self):
+        assert TCFConfig(fingerprint_bits=12, block_size=32).label == "12-32"
+
+    def test_with_cg_size(self):
+        config = POINT_TCF_DEFAULT.with_cg_size(8)
+        assert config.cg_size == 8
+        assert config.fingerprint_bits == POINT_TCF_DEFAULT.fingerprint_bits
+
+    @pytest.mark.parametrize("field, value", [
+        ("fingerprint_bits", 2),
+        ("fingerprint_bits", 40),
+        ("block_size", 0),
+        ("cg_size", 3),
+        ("shortcut_fill", 1.5),
+        ("backing_fraction", 0.0),
+        ("max_load_factor", 0.0),
+    ])
+    def test_invalid_values_rejected(self, field, value):
+        kwargs = {"fingerprint_bits": 16, "block_size": 16}
+        kwargs[field] = value
+        with pytest.raises(ValueError):
+            TCFConfig(**kwargs)
+
+
+class TestFigure5Variants:
+    def test_all_paper_variants_present(self):
+        assert set(FIGURE5_VARIANTS) == {"8-8", "12-8", "12-12", "12-16", "12-32", "16-16", "16-32"}
+
+    def test_labels_match_configuration(self):
+        for label, config in FIGURE5_VARIANTS.items():
+            assert config.label == label
+
+    def test_every_variant_fits_a_cache_line(self):
+        for config in FIGURE5_VARIANTS.values():
+            assert config.block_bytes <= GPU_CACHE_LINE_BYTES
+
+    def test_cg_sweep_sizes(self):
+        assert FIGURE5_CG_SIZES == (1, 2, 4, 8, 16, 32)
