@@ -27,12 +27,12 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from ...gpusim.kernel import KernelContext, bulk_region_launch
-from ...gpusim.sorting import device_sort, device_sort_by_key
+from ...gpusim.sorting import device_sort_by_key
 from ...gpusim.stats import StatsRecorder
 from ...hashing.fingerprints import FingerprintScheme
 from ..base import AbstractFilter, FilterCapabilities
 from ..exceptions import FilterFullError
-from .layout import QuotientFilterCore
+from .layout import SEQUENTIAL_BATCH_MAX, QuotientFilterCore
 from .mapreduce import aggregate_batch
 from .point_gqf import PointGQF
 from .regions import DEFAULT_REGION_SLOTS, RegionPartition
@@ -63,11 +63,13 @@ class BulkGQF(AbstractFilter):
         region_slots: int = DEFAULT_REGION_SLOTS,
         use_mapreduce: bool = False,
         recorder: Optional[StatsRecorder] = None,
+        enforce_alignment: bool = True,
     ) -> None:
         super().__init__(recorder)
-        if remainder_bits not in PointGQF.SUPPORTED_REMAINDERS:
+        if enforce_alignment and remainder_bits not in PointGQF.SUPPORTED_REMAINDERS:
             raise ValueError(
-                f"the GQF supports word-aligned remainders {PointGQF.SUPPORTED_REMAINDERS}"
+                f"the GQF supports word-aligned remainders {PointGQF.SUPPORTED_REMAINDERS}, "
+                f"got {remainder_bits}"
             )
         self.scheme = FingerprintScheme(quotient_bits, remainder_bits)
         self.core = QuotientFilterCore(
@@ -151,12 +153,33 @@ class BulkGQF(AbstractFilter):
         quotients, remainders = self.scheme.split(fingerprints)
         return quotients.astype(np.int64), remainders.astype(np.uint64)
 
+    def _sorted_batch(
+        self, keys: np.ndarray, *extra: np.ndarray
+    ) -> Tuple[np.ndarray, ...]:
+        """Hash a batch and sort it by full fingerprint (Thrust sort).
+
+        The sort key is the p-bit fingerprint itself, built in uint64 —
+        ``quotient * 2^r + remainder`` in a signed int64 would overflow once
+        ``q + r >= 63``, silently mis-sorting wide geometries.
+        """
+        quotients, remainders = self._hash_batch(keys)
+        sort_keys = self.scheme.join(quotients, remainders)
+        _sorted, order = device_sort_by_key(
+            sort_keys, np.arange(keys.size), self.recorder
+        )
+        return (quotients[order], remainders[order]) + tuple(a[order] for a in extra)
+
     def bulk_insert(self, keys: Sequence[int], values: Optional[Sequence[int]] = None) -> int:
         """Insert a batch with the two-phase even-odd lock-free scheme.
 
         ``values`` are interpreted as per-key counts when given (count of 0
         is bumped to 1), so the same entry point serves plain insertion,
         counting and value association.
+
+        Each phase hands its regions' items to the core as one vectorised
+        sorted merge; batches too small to amortise the whole-table decode
+        (see :meth:`QuotientFilterCore.prefers_sequential`) take the
+        per-item path instead.
         """
         keys = np.asarray(keys, dtype=np.uint64)
         if keys.size == 0:
@@ -177,30 +200,37 @@ class BulkGQF(AbstractFilter):
                 agg_counts = np.add.reduceat(sorted_counts, boundaries)
             keys, counts = unique_keys, agg_counts.astype(np.int64)
 
-        quotients, remainders = self._hash_batch(keys)
-        # Sort by quotient so each region's items arrive in canonical order
-        # (eliminating intra-batch shifting).
-        sort_keys = quotients * (1 << self.scheme.remainder_bits) + remainders.astype(np.int64)
-        _sorted, order = device_sort_by_key(sort_keys, np.arange(keys.size), self.recorder)
-        quotients = quotients[order]
-        remainders = remainders[order]
-        counts = counts[order]
-
-        boundaries = self.partition.split_sorted_quotients(quotients)
+        quotients, remainders, counts = self._sorted_batch(keys, counts)
+        vectorised = not self.core.prefers_sequential(int(keys.size))
         inserted = 0
-        for phase_name, regions in zip(("even", "odd"), self.partition.phases()):
+        for parity, (phase_name, regions) in enumerate(
+            zip(("even", "odd"), self.partition.phases())
+        ):
             if not regions:
                 continue
+            mask = self.partition.phase_mask(quotients, parity)
             with self.kernels.launch(
                 f"gqf_bulk_insert_{phase_name}", bulk_region_launch(len(regions))
             ):
-                for region in regions:
-                    lo, hi = int(boundaries[region]), int(boundaries[region + 1])
-                    for i in range(lo, hi):
-                        self.core.insert_fingerprint(
-                            int(quotients[i]), int(remainders[i]), int(counts[i])
+                if vectorised and mask.any():
+                    try:
+                        self.core.insert_sorted_batch(
+                            quotients[mask], remainders[mask], counts[mask]
                         )
-                        inserted += 1
+                        inserted += int(np.count_nonzero(mask))
+                        continue
+                    except FilterFullError:
+                        # The merge is all-or-nothing; replay the phase per
+                        # item so an over-capacity batch still fills the
+                        # table before raising (callers such as the
+                        # benchmark fill loops catch FilterFullError and
+                        # measure the filter at capacity).
+                        pass
+                for i in np.flatnonzero(mask):
+                    self.core.insert_fingerprint(
+                        int(quotients[i]), int(remainders[i]), int(counts[i])
+                    )
+                    inserted += 1
         return inserted
 
     def bulk_count_items(self, keys: Sequence[int]) -> int:
@@ -210,55 +240,56 @@ class BulkGQF(AbstractFilter):
     # ---------------------------------------------------------------- bulk query
     def bulk_query(self, keys: Sequence[int]) -> np.ndarray:
         keys = np.asarray(keys, dtype=np.uint64)
-        out = np.zeros(keys.size, dtype=bool)
         if keys.size == 0:
-            return out
+            return np.zeros(0, dtype=bool)
         quotients, remainders = self._hash_batch(keys)
         with self.kernels.launch("gqf_bulk_query", bulk_region_launch(self.partition.n_regions)):
-            for i in range(keys.size):
-                out[i] = self.core.query_fingerprint(int(quotients[i]), int(remainders[i])) > 0
-        return out
+            counts = self.core.batch_counts(quotients, remainders)
+        return counts > 0
 
     def bulk_count(self, keys: Sequence[int]) -> np.ndarray:
         keys = np.asarray(keys, dtype=np.uint64)
-        out = np.zeros(keys.size, dtype=np.int64)
         if keys.size == 0:
-            return out
+            return np.zeros(0, dtype=np.int64)
         quotients, remainders = self._hash_batch(keys)
         with self.kernels.launch("gqf_bulk_count", bulk_region_launch(self.partition.n_regions)):
-            for i in range(keys.size):
-                out[i] = self.core.query_fingerprint(int(quotients[i]), int(remainders[i]))
-        return out
+            counts = self.core.batch_counts(quotients, remainders)
+        return counts
 
     # ---------------------------------------------------------------- bulk delete
     def bulk_delete(self, keys: Sequence[int]) -> int:
         """Delete a batch using the same sorted even-odd scheme.
 
-        Within each region items are deleted largest-quotient first, which
-        minimises the left-shifting each removal triggers (the optimisation
-        the paper credits for the GQF's deletion speed over the SQF).
+        Each phase removes its regions' fingerprints in one vectorised
+        subtraction and cluster re-canonicalisation (the left-shifting the
+        paper describes for deletes, applied batch-wide).
         """
         keys = np.asarray(keys, dtype=np.uint64)
         if keys.size == 0:
             return 0
-        quotients, remainders = self._hash_batch(keys)
-        sort_keys = quotients * (1 << self.scheme.remainder_bits) + remainders.astype(np.int64)
-        _sorted, order = device_sort_by_key(sort_keys, np.arange(keys.size), self.recorder)
-        quotients = quotients[order]
-        remainders = remainders[order]
-        boundaries = self.partition.split_sorted_quotients(quotients)
+        quotients, remainders = self._sorted_batch(keys)
+        vectorised = not self.core.prefers_sequential(int(keys.size))
         removed = 0
-        for phase_name, regions in zip(("even", "odd"), self.partition.phases()):
+        for parity, (phase_name, regions) in enumerate(
+            zip(("even", "odd"), self.partition.phases())
+        ):
             if not regions:
                 continue
+            mask = self.partition.phase_mask(quotients, parity)
             with self.kernels.launch(
                 f"gqf_bulk_delete_{phase_name}", bulk_region_launch(len(regions))
             ):
-                for region in regions:
-                    lo, hi = int(boundaries[region]), int(boundaries[region + 1])
-                    # Largest items (quotients) first within the region.
-                    for i in range(hi - 1, lo - 1, -1):
-                        if self.core.delete_fingerprint(int(quotients[i]), int(remainders[i]), 1):
+                if vectorised:
+                    if mask.any():
+                        removed += self.core.delete_sorted_batch(
+                            quotients[mask], remainders[mask]
+                        )
+                else:
+                    # Largest items (quotients) first, as on the device.
+                    for i in np.flatnonzero(mask)[::-1]:
+                        if self.core.delete_fingerprint(
+                            int(quotients[i]), int(remainders[i]), 1
+                        ):
                             removed += 1
         return removed
 

@@ -25,7 +25,7 @@ specification and documented deviations are noted in DESIGN.md):
 * remainders ``0`` and ``1`` cannot host digits (no smaller values exist),
   so they fall back to unary: ``C`` copies of the remainder.  Such tiny
   remainders occur with probability :math:`2^{1-r}`, so the space impact is
-  negligible for the 8/16/32/64-bit remainders the GQF supports.
+  negligible for the 8/16/32-bit remainders the GQF supports.
 
 Decoding is unambiguous: scanning a run left to right, a value smaller than
 the current remainder can only be a counter digit (run order is ascending),
@@ -188,6 +188,73 @@ def decrement(items: List[Tuple[int, int]], remainder: int, delta: int = 1) -> T
         else:
             out.append((rem, count))
     return out, found
+
+
+def is_plain_run(values: np.ndarray) -> bool:
+    """True when a run's slot values decode to singletons (count 1 each).
+
+    Strictly increasing values can contain neither counter digits (a digit
+    is always smaller than the remainder preceding it) nor duplicates (a
+    count of 2+ always produces a repeated remainder), so the run needs no
+    counter decoding.  This is the single definition of the fast-path
+    invariant; change it together with the encoding above.
+    """
+    values = np.asarray(values)
+    return values.size <= 1 or bool(np.all(values[1:] > values[:-1]))
+
+
+def plain_run_mask(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`is_plain_run` over many concatenated runs.
+
+    ``values`` holds every run's slots back to back; ``offsets`` is the
+    cumulative boundary array (``len(runs) + 1`` entries, starting at 0).
+    Returns one boolean per run.
+    """
+    increasing = np.ones(values.size, dtype=bool)
+    increasing[1:] = values[1:] > values[:-1]
+    increasing[offsets[:-1]] = True
+    return np.logical_and.reduceat(increasing, offsets[:-1])
+
+
+def encode_flat(
+    remainders: np.ndarray,
+    counts: np.ndarray,
+    counting: bool,
+    dtype: np.dtype,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorised run encoder for a batch of ``(remainder, count)`` items.
+
+    ``remainders``/``counts`` describe already-merged items in run order
+    (ascending remainder within each run).  Returns ``(flat_values,
+    enc_lens)`` where ``flat_values`` is the concatenation of every item's
+    slot encoding and ``enc_lens[i]`` is the number of slots item ``i``
+    occupies.  Counts of 1 and 2 — the overwhelmingly common cases — are
+    encoded without any per-item Python work; only items that need counter
+    digits (count >= 3 with a digit-hosting remainder) fall back to
+    :func:`encode_item`.
+    """
+    remainders = np.asarray(remainders, dtype=np.uint64)
+    counts = np.asarray(counts, dtype=np.int64)
+    if remainders.size == 0:
+        return np.zeros(0, dtype=dtype), np.zeros(0, dtype=np.int64)
+    if not counting:
+        enc_lens = counts.copy()
+        flat = np.repeat(remainders, enc_lens).astype(dtype, copy=False)
+        return flat, enc_lens
+    enc_lens = np.minimum(counts, 2).astype(np.int64)
+    unary = remainders < len(UNARY_REMAINDERS)
+    big = counts >= 3
+    # Unary remainders (0/1) encode any count as `count` copies.
+    np.copyto(enc_lens, counts, where=big & unary)
+    digit_items = np.flatnonzero(big & ~unary)
+    encodings = [encode_item(int(remainders[i]), int(counts[i])) for i in digit_items]
+    if encodings:
+        enc_lens[digit_items] = [len(e) for e in encodings]
+    flat = np.repeat(remainders, enc_lens)
+    offsets = np.concatenate(([0], np.cumsum(enc_lens)))
+    for i, enc in zip(digit_items, encodings):
+        flat[offsets[i] : offsets[i + 1]] = enc
+    return flat.astype(dtype, copy=False), enc_lens
 
 
 def max_count_single_slot(remainder_bits: int) -> int:

@@ -37,7 +37,9 @@ class PointGQF(AbstractFilter):
         log2 of the number of canonical slots.
     remainder_bits:
         Remainder width; the GQF supports the machine-word-aligned widths
-        8, 16, 32 and 64 (8 gives the paper's ~0.19 % false-positive rate).
+        8, 16 and 32 (8 gives the paper's ~0.19 % false-positive rate).
+        64-bit remainders are not offered: the quotient needs at least 3
+        bits, so a 64-bit remainder can never fit the 64-bit fingerprint.
     region_slots:
         Locking-region size (8192 in the paper; smaller values are useful for
         unit tests).
@@ -46,7 +48,7 @@ class PointGQF(AbstractFilter):
     """
 
     name = "GQF"
-    SUPPORTED_REMAINDERS = (8, 16, 32, 64)
+    SUPPORTED_REMAINDERS = (8, 16, 32)
 
     def __init__(
         self,
@@ -237,19 +239,19 @@ class PointGQF(AbstractFilter):
 
     def bulk_query(self, keys: Sequence[int]) -> np.ndarray:
         keys = np.asarray(keys, dtype=np.uint64)
-        out = np.zeros(keys.size, dtype=bool)
+        quotients, remainders = self.scheme.key_to_slot(keys)
         with self.kernels.launch("gqf_point_bulk_query", point_launch(keys.size, 1)):
-            for i, key in enumerate(keys):
-                out[i] = self.query(int(key))
-        return out
+            # Queries are lock-free reads, so the batch can run as one
+            # vectorised lookup without changing the simulated traffic.
+            counts = self.core.batch_counts(quotients, remainders)
+        return counts > 0
 
     def bulk_count(self, keys: Sequence[int]) -> np.ndarray:
         keys = np.asarray(keys, dtype=np.uint64)
-        out = np.zeros(keys.size, dtype=np.int64)
+        quotients, remainders = self.scheme.key_to_slot(keys)
         with self.kernels.launch("gqf_point_bulk_count", point_launch(keys.size, 1)):
-            for i, key in enumerate(keys):
-                out[i] = self.count(int(key))
-        return out
+            counts = self.core.batch_counts(quotients, remainders)
+        return counts
 
     def bulk_delete(self, keys: Sequence[int]) -> int:
         keys = np.asarray(keys, dtype=np.uint64)

@@ -7,12 +7,14 @@ rank and select:
 * ``rank(B, i)``   — number of set bits in ``B[0..i]`` (inclusive);
 * ``select(B, k)`` — position of the ``k``-th set bit (1-indexed).
 
-:class:`Bitvector` is the workhorse used by the GQF/SQF/CQF cores; it keeps
-its bits in a NumPy boolean array so rank/select are vectorised, and can
-import/export packed 64-bit words.  The module also provides the word-level
-primitives (``popcount64``, ``select64``) that the RSQF baseline uses for its
-block-local offsets, mirroring the x86 ``popcnt``/``pdep`` tricks of the CPU
-implementation.
+:class:`Bitvector` is the workhorse used by the GQF/SQF/CQF cores.  It keeps
+its bits **packed into little-endian uint64 words** — the same layout the
+GPU (and the reference CQF) uses — so rank is a popcount over whole words,
+select is a cumulative popcount plus one in-word select, and the navigation
+helpers scan 64 slots per word instead of one boolean per slot.  The module
+also provides the word-level primitives (``popcount64``, ``select64``) that
+the RSQF baseline uses for its block-local offsets, mirroring the x86
+``popcnt``/``pdep`` tricks of the CPU implementation.
 """
 
 from __future__ import annotations
@@ -21,16 +23,29 @@ from typing import Optional
 
 import numpy as np
 
+_WORD_BITS = 64
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+if hasattr(np, "bitwise_count"):
+    _popcount_words = np.bitwise_count
+else:  # pragma: no cover - NumPy < 2.0 fallback
+    _M1 = np.uint64(0x5555555555555555)
+    _M2 = np.uint64(0x3333333333333333)
+    _M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+    _H01 = np.uint64(0x0101010101010101)
+
+    def _popcount_words(words: np.ndarray) -> np.ndarray:
+        w = words - ((words >> np.uint64(1)) & _M1)
+        w = (w & _M2) + ((w >> np.uint64(2)) & _M2)
+        w = (w + (w >> np.uint64(4))) & _M4
+        return (w * _H01) >> np.uint64(56)
+
 
 def popcount64(words: np.ndarray | int) -> np.ndarray | int:
-    """Population count of 64-bit words (vectorised)."""
+    """Population count of 64-bit words (vectorised, no per-bit loop)."""
     scalar = not isinstance(words, np.ndarray)
     w = np.atleast_1d(np.asarray(words, dtype=np.uint64))
-    out = np.zeros(w.shape, dtype=np.int64)
-    tmp = w.copy()
-    while np.any(tmp):
-        out += (tmp & np.uint64(1)).astype(np.int64)
-        tmp >>= np.uint64(1)
+    out = _popcount_words(w).astype(np.int64)
     return int(out[0]) if scalar else out
 
 
@@ -43,17 +58,29 @@ def select64(word: int, k: int) -> int:
     word = int(word) & 0xFFFFFFFFFFFFFFFF
     if k <= 0:
         raise ValueError("k must be >= 1")
-    seen = 0
-    for bit in range(64):
-        if word & (1 << bit):
-            seen += 1
-            if seen == k:
-                return bit
-    return 64
+    bits = np.unpackbits(
+        np.array([word], dtype=np.uint64).view(np.uint8), bitorder="little"
+    )
+    cum = np.cumsum(bits)
+    pos = int(np.searchsorted(cum, k, side="left"))
+    return pos if pos < _WORD_BITS else _WORD_BITS
+
+
+def _low_bit(word: int) -> int:
+    """Index of the lowest set bit of a nonzero word."""
+    return (word & -word).bit_length() - 1
+
+
+def _high_bit(word: int) -> int:
+    """Index of the highest set bit of a nonzero word."""
+    return word.bit_length() - 1
 
 
 class Bitvector:
     """A fixed-length bit vector with rank/select queries.
+
+    Bits are stored packed into little-endian uint64 words; the padding bits
+    past ``n_bits`` in the final word are kept zero as a class invariant.
 
     Parameters
     ----------
@@ -61,32 +88,108 @@ class Bitvector:
         Length of the vector; all bits start cleared.
     """
 
+    __slots__ = ("n_bits", "n_words", "words")
+
     def __init__(self, n_bits: int) -> None:
         if n_bits <= 0:
             raise ValueError("n_bits must be positive")
         self.n_bits = int(n_bits)
-        self.bits = np.zeros(self.n_bits, dtype=bool)
+        self.n_words = (self.n_bits + _WORD_BITS - 1) // _WORD_BITS
+        self.words = np.zeros(self.n_words, dtype=np.uint64)
+
+    # ------------------------------------------------------------- internals
+    @property
+    def _pad_mask(self) -> np.uint64:
+        """Mask of the valid bits within the final word."""
+        tail = self.n_bits & 63
+        if tail == 0:
+            return _ALL_ONES
+        return _ALL_ONES >> np.uint64(_WORD_BITS - tail)
+
+    def _index(self, index: int) -> int:
+        index = int(index)
+        if index < 0:
+            index += self.n_bits
+        if not 0 <= index < self.n_bits:
+            raise IndexError(f"bit index {index} out of range for {self.n_bits} bits")
+        return index
+
+    def _get_chunk(self, w0: int, w1: int) -> np.ndarray:
+        """Unpack words ``[w0, w1)`` into a uint8 0/1 array (64 per word)."""
+        return np.unpackbits(self.words[w0:w1].view(np.uint8), bitorder="little")
+
+    def _put_chunk(self, w0: int, w1: int, chunk: np.ndarray) -> None:
+        self.words[w0:w1] = np.packbits(chunk, bitorder="little").view(np.uint64)
 
     # ----------------------------------------------------------- bit access
+    @property
+    def bits(self) -> np.ndarray:
+        """The bits as a read-only boolean array (host-side/debug view)."""
+        out = np.unpackbits(
+            self.words.view(np.uint8), count=self.n_bits, bitorder="little"
+        ).view(np.bool_)
+        out.flags.writeable = False
+        return out
+
     def get(self, index: int) -> bool:
         """Return bit ``index``."""
-        return bool(self.bits[index])
+        index = self._index(index)
+        return bool((self.words[index >> 6] >> np.uint64(index & 63)) & np.uint64(1))
 
     def set(self, index: int, value: bool = True) -> None:
         """Set (or clear) bit ``index``."""
-        self.bits[index] = bool(value)
+        index = self._index(index)
+        mask = np.uint64(1) << np.uint64(index & 63)
+        if value:
+            self.words[index >> 6] |= mask
+        else:
+            self.words[index >> 6] &= ~mask
 
     def clear(self, index: int) -> None:
         """Clear bit ``index``."""
-        self.bits[index] = False
+        self.set(index, False)
+
+    def _apply_range(self, start: int, stop: int, value: bool) -> None:
+        start = max(int(start), 0)
+        stop = min(int(stop), self.n_bits)
+        if stop <= start:
+            return
+        w0, w1 = start >> 6, (stop - 1) >> 6
+        head = _ALL_ONES << np.uint64(start & 63)
+        tail = _ALL_ONES >> np.uint64(63 - ((stop - 1) & 63))
+        if w0 == w1:
+            mask = head & tail
+            if value:
+                self.words[w0] |= mask
+            else:
+                self.words[w0] &= ~mask
+            return
+        if value:
+            self.words[w0] |= head
+            self.words[w0 + 1 : w1] = _ALL_ONES
+            self.words[w1] |= tail
+        else:
+            self.words[w0] &= ~head
+            self.words[w0 + 1 : w1] = 0
+            self.words[w1] &= ~tail
+
+    def set_range(self, start: int, stop: int) -> None:
+        """Set bits in ``[start, stop)`` (word-masked, no per-bit loop)."""
+        self._apply_range(start, stop, True)
 
     def clear_range(self, start: int, stop: int) -> None:
         """Clear bits in ``[start, stop)``."""
-        self.bits[start:stop] = False
+        self._apply_range(start, stop, False)
+
+    def assign_positions(self, positions: np.ndarray) -> None:
+        """Replace the whole vector with bits set exactly at ``positions``."""
+        buf = np.zeros(self.n_words * _WORD_BITS, dtype=np.uint8)
+        buf[np.asarray(positions, dtype=np.int64)] = 1
+        self.words[:] = np.packbits(buf, bitorder="little").view(np.uint64)
 
     def count(self) -> int:
         """Total number of set bits."""
-        return int(np.count_nonzero(self.bits))
+        return int(_popcount_words(self.words).astype(np.int64).sum())
 
     # ------------------------------------------------------------ rank/select
     def rank(self, index: int) -> int:
@@ -97,58 +200,95 @@ class Bitvector:
         if index < 0:
             return 0
         index = min(index, self.n_bits - 1)
-        return int(np.count_nonzero(self.bits[: index + 1]))
+        w = index >> 6
+        partial = self.words[w] & (_ALL_ONES >> np.uint64(63 - (index & 63)))
+        full = int(_popcount_words(self.words[:w]).astype(np.int64).sum())
+        return full + int(_popcount_words(np.uint64(partial)))
+
+    def _cum_popcounts(self) -> np.ndarray:
+        return np.cumsum(_popcount_words(self.words).astype(np.int64))
 
     def select(self, k: int) -> Optional[int]:
         """Position of the ``k``-th set bit (1-indexed); None if fewer exist."""
         if k <= 0:
             raise ValueError("select is 1-indexed: k must be >= 1")
-        positions = np.flatnonzero(self.bits)
-        if k > positions.size:
+        cum = self._cum_popcounts()
+        if k > int(cum[-1]):
             return None
-        return int(positions[k - 1])
+        w = int(np.searchsorted(cum, k, side="left"))
+        prior = int(cum[w - 1]) if w else 0
+        return (w << 6) + select64(int(self.words[w]), k - prior)
 
     def select_from(self, k: int, start: int) -> Optional[int]:
         """Position of the ``k``-th set bit at or after ``start``."""
         if k <= 0:
             raise ValueError("select is 1-indexed: k must be >= 1")
-        positions = np.flatnonzero(self.bits[start:])
-        if k > positions.size:
-            return None
-        return int(start + positions[k - 1])
+        return self.select(k + self.rank(start - 1))
 
     # ------------------------------------------------------------- navigation
     def next_set(self, start: int) -> Optional[int]:
         """First set bit at or after ``start`` (None if none)."""
+        start = max(int(start), 0)
         if start >= self.n_bits:
             return None
-        offset = np.argmax(self.bits[start:]) if self.bits[start:].any() else -1
-        if offset < 0:
+        w0 = start >> 6
+        masked = int(self.words[w0] & (_ALL_ONES << np.uint64(start & 63)))
+        if masked:
+            return (w0 << 6) + _low_bit(masked)
+        nz = np.flatnonzero(self.words[w0 + 1 :])
+        if nz.size == 0:
             return None
-        return int(start + offset)
+        w = w0 + 1 + int(nz[0])
+        return (w << 6) + _low_bit(int(self.words[w]))
 
     def next_unset(self, start: int) -> Optional[int]:
         """First cleared bit at or after ``start`` (None if none)."""
+        start = max(int(start), 0)
         if start >= self.n_bits:
             return None
-        region = ~self.bits[start:]
-        if not region.any():
-            return None
-        return int(start + np.argmax(region))
+        w0 = start >> 6
+        inv = (~self.words[w0]) & (_ALL_ONES << np.uint64(start & 63))
+        if w0 == self.n_words - 1:
+            inv &= self._pad_mask
+        if int(inv):
+            return (w0 << 6) + _low_bit(int(inv))
+        nz = np.flatnonzero(self.words[w0 + 1 :] != _ALL_ONES)
+        for offset in nz:
+            w = w0 + 1 + int(offset)
+            inv = ~self.words[w]
+            if w == self.n_words - 1:
+                inv &= self._pad_mask
+            if int(inv):
+                return (w << 6) + _low_bit(int(inv))
+        return None
 
     def prev_unset(self, start: int) -> Optional[int]:
         """Last cleared bit at or before ``start`` (None if none)."""
         if start < 0:
             return None
-        start = min(start, self.n_bits - 1)
-        region = ~self.bits[: start + 1]
-        if not region.any():
+        start = min(int(start), self.n_bits - 1)
+        w0 = start >> 6
+        inv = int((~self.words[w0]) & (_ALL_ONES >> np.uint64(63 - (start & 63))))
+        if inv:
+            return (w0 << 6) + _high_bit(inv)
+        full = np.flatnonzero(self.words[:w0] != _ALL_ONES)
+        if full.size == 0:
             return None
-        return int(np.flatnonzero(region)[-1])
+        w = int(full[-1])
+        return (w << 6) + _high_bit(int(~self.words[w] & _ALL_ONES))
 
     def set_positions(self, start: int, stop: int) -> np.ndarray:
         """Positions of set bits within ``[start, stop)``."""
-        return start + np.flatnonzero(self.bits[start:stop])
+        start = max(int(start), 0)
+        stop = min(int(stop), self.n_bits)
+        if stop <= start:
+            return np.zeros(0, dtype=np.int64)
+        w0, w1 = start >> 6, (stop + 63) >> 6
+        chunk = self._get_chunk(w0, w1)
+        base = w0 << 6
+        return (start + np.flatnonzero(chunk[start - base : stop - base])).astype(
+            np.int64
+        )
 
     # -------------------------------------------------------------- shifting
     def shift_right_one(self, start: int, stop: int) -> None:
@@ -162,31 +302,40 @@ class Bitvector:
             return
         if stop >= self.n_bits:
             raise IndexError("shift would run past the end of the bit vector")
-        self.bits[start + 1 : stop + 1] = self.bits[start:stop]
-        self.bits[start] = False
+        w0, w1 = start >> 6, (stop >> 6) + 1
+        chunk = self._get_chunk(w0, w1)
+        base = w0 << 6
+        s, e = start - base, stop - base
+        chunk[s + 1 : e + 1] = chunk[s:e]
+        chunk[s] = 0
+        self._put_chunk(w0, w1, chunk)
 
     def shift_left_one(self, start: int, stop: int) -> None:
         """Shift bits ``[start, stop)`` one position left (towards start)."""
         if stop <= start:
             return
-        self.bits[start - 1 : stop - 1] = self.bits[start:stop]
-        self.bits[stop - 1] = False
+        if start <= 0:
+            raise IndexError("shift would run past the start of the bit vector")
+        w0, w1 = (start - 1) >> 6, ((stop - 1) >> 6) + 1
+        chunk = self._get_chunk(w0, w1)
+        base = w0 << 6
+        s, e = start - base, stop - base
+        chunk[s - 1 : e - 1] = chunk[s:e]
+        chunk[e - 1] = 0
+        self._put_chunk(w0, w1, chunk)
 
     # ------------------------------------------------------------ packed view
     def to_words(self) -> np.ndarray:
         """Export the bits as packed little-endian uint64 words."""
-        n_words = (self.n_bits + 63) // 64
-        padded = np.zeros(n_words * 64, dtype=np.uint8)
-        padded[: self.n_bits] = self.bits
-        return np.packbits(padded, bitorder="little").view(np.uint64)
+        return self.words.copy()
 
     @classmethod
     def from_words(cls, words: np.ndarray, n_bits: int) -> "Bitvector":
         """Build a bit vector from packed uint64 words."""
         words = np.ascontiguousarray(np.asarray(words, dtype=np.uint64))
         bv = cls(n_bits)
-        bits = np.unpackbits(words.view(np.uint8), bitorder="little")
-        bv.bits[:] = bits[:n_bits].astype(bool)
+        bv.words[: words.size] = words[: bv.n_words]
+        bv.words[-1] &= bv._pad_mask
         return bv
 
     @property

@@ -83,6 +83,17 @@ class RegionPartition:
         """Both phases, even first."""
         return self.even_regions(), self.odd_regions()
 
+    def phase_mask(self, quotients: np.ndarray, parity: int) -> np.ndarray:
+        """Boolean mask of the quotients whose region has the given parity.
+
+        The bulk even-odd scheme partitions a sorted batch into the items
+        processed by phase 0 (even regions) and phase 1 (odd regions); this
+        is the vectorised membership test for one phase.
+        """
+        if parity not in (0, 1):
+            raise ValueError("parity must be 0 (even) or 1 (odd)")
+        return (self.regions_of(quotients) & 1) == parity
+
     def split_sorted_quotients(self, sorted_quotients: np.ndarray) -> np.ndarray:
         """Start index of each region's items within a sorted quotient array.
 
@@ -90,6 +101,10 @@ class RegionPartition:
         atomics to build per-region buffers, the sorted input array is
         indexed by the first position whose quotient reaches the region's
         first slot.  Returns ``n_regions + 1`` boundaries.
+
+        The vectorised bulk GQF now partitions phases with
+        :meth:`phase_mask`; this remains public as the per-region buffer
+        view of the same batch (Section 5.3's exposition).
         """
         sorted_quotients = np.asarray(sorted_quotients, dtype=np.int64)
         region_starts = np.arange(self.n_regions, dtype=np.int64) * self.region_slots

@@ -112,12 +112,13 @@ class FingerprintScheme:
 
 
 def scheme_for_errorrate(
-    n_items: int, target_fp_rate: float, allowed_remainders: Tuple[int, ...] = (8, 16, 32, 64)
+    n_items: int, target_fp_rate: float, allowed_remainders: Tuple[int, ...] = (8, 16, 32)
 ) -> FingerprintScheme:
     """Pick the smallest machine-word-aligned remainder achieving a target ε.
 
-    The GQF only supports 8/16/32/64-bit remainders to keep slots word
-    aligned (Section 6); given a capacity and a target false-positive rate,
+    The GQF only supports 8/16/32-bit remainders to keep slots word aligned
+    (Section 6; a 64-bit remainder can never fit a 64-bit fingerprint next
+    to the quotient); given a capacity and a target false-positive rate,
     this returns the cheapest conforming scheme.
     """
     if n_items <= 0:
