@@ -21,9 +21,10 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 #: Simulation scale (log2 slots) used by the benchmarks.  Small enough that
 #: the whole suite runs in a few minutes, large enough that per-operation
-#: event counts are stable.  The vectorised GQF bulk path made the filling
-#: phase cheap enough to double the sampled table size.
-BENCH_SIM_LG = 12
+#: event counts are stable.  With both bulk filters vectorised (GQF in PR 1,
+#: TCF in PR 2) the filling phase no longer caps the scale, so the sampled
+#: table size doubles again.
+BENCH_SIM_LG = 13
 #: Queries simulated per phase.
 BENCH_QUERIES = 1024
 

@@ -2,7 +2,7 @@
 
 from .backing import BackingTable
 from .block import BlockedTable
-from .bulk_tcf import BulkTCF
+from .bulk_tcf import TCF_SEQUENTIAL_BATCH_MAX, BulkTCF
 from .config import (
     BULK_TCF_DEFAULT,
     EMPTY_SLOT,
@@ -27,5 +27,6 @@ __all__ = [
     "POINT_TCF_DEFAULT",
     "TOMBSTONE_SLOT",
     "TCFConfig",
+    "TCF_SEQUENTIAL_BATCH_MAX",
     "PointTCF",
 ]

@@ -12,19 +12,28 @@ Positive queries rarely touch the backing table, but negative queries must
 always probe at least one backing bucket (and up to ``max_probes`` in the
 worst case), which is exactly the asymmetry the paper reports for
 false-positive query performance.
+
+The point API probes lazily — one bucket at a time, stopping at the first
+match or the first bucket with an empty slot.  The bulk API processes a whole
+batch per probe round: all still-unresolved keys gather their round-``i``
+bucket at once, so a batch of *n* keys costs a handful of vectorised passes
+instead of *n* Python loops.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ...gpusim.atomics import atomic_cas
 from ...gpusim.memory import DeviceArray
+from ...gpusim.sorting import group_ranks, run_first_mask
 from ...gpusim.stats import StatsRecorder
 from ...hashing.mixers import murmur64_mix, splitmix64
 from .config import EMPTY_SLOT, TOMBSTONE_SLOT, TCFConfig
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
 
 
 class BackingTable:
@@ -96,23 +105,56 @@ class BackingTable:
         return self._n_items / self.n_slots if self.n_slots else 0.0
 
     # ----------------------------------------------------------------- probing
-    def _probe_sequence(self, key: int) -> np.ndarray:
-        """Bucket indices visited for ``key`` (double hashing, odd stride)."""
-        key = int(key) & 0xFFFFFFFFFFFFFFFF
+    def _probe_sequence(self, key: int) -> Iterator[int]:
+        """Bucket indices visited for ``key`` (double hashing, odd stride).
+
+        Lazily yields one bucket at a time so callers that stop at the first
+        match or empty bucket (the common case) never pay for the full
+        ``max_probes`` sequence.  Arithmetic wraps at 64 bits, matching the
+        vectorised batch probing exactly.
+        """
+        key = int(key) & _MASK64
         h1 = int(murmur64_mix(np.uint64(key)))
         h2 = int(splitmix64(np.uint64(key))) | 1
-        steps = np.arange(self.max_probes, dtype=object)
-        probes = np.array(
-            [(h1 + int(i) * h2) % self.n_buckets for i in steps], dtype=np.int64
-        )
-        return probes
+        cursor = h1
+        for _ in range(self.max_probes):
+            yield cursor % self.n_buckets
+            cursor = (cursor + h2) & _MASK64
+
+    def _hash_batch(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-key (start, stride) of the double-hashing probe sequence."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        h1 = np.asarray(murmur64_mix(keys), dtype=np.uint64)
+        h2 = np.asarray(splitmix64(keys), dtype=np.uint64) | np.uint64(1)
+        return h1, h2
+
+    def _probe_round(self, h1: np.ndarray, h2: np.ndarray, round_idx: int) -> np.ndarray:
+        """Round-``i`` bucket per key (uint64 wraparound, then modulo)."""
+        cursor = h1 + np.uint64(round_idx) * h2  # wraps at 2^64, as the point path
+        return (cursor % np.uint64(self.n_buckets)).astype(np.int64)
 
     def _encode_key(self, key: int) -> int:
         """Stored key encoding; the reserved sentinels are displaced."""
-        key = int(key) & 0xFFFFFFFFFFFFFFFF
+        key = int(key) & _MASK64
         if key in (EMPTY_SLOT, TOMBSTONE_SLOT):
             key += 2
         return key
+
+    def _encode_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`_encode_key`."""
+        stored = np.asarray(keys, dtype=np.uint64).copy()
+        reserved = (stored == np.uint64(EMPTY_SLOT)) | (stored == np.uint64(TOMBSTONE_SLOT))
+        stored[reserved] += np.uint64(2)
+        return stored
+
+    def _bucket_windows(self, buckets: np.ndarray) -> np.ndarray:
+        """Host-side view of the ``(n, BUCKET_WIDTH)`` key windows probed.
+
+        The per-bucket cache-line read is charged by the caller (one line per
+        probing key, as the point path's ``read_range`` does).
+        """
+        offsets = buckets[:, None] * self.BUCKET_WIDTH + np.arange(self.BUCKET_WIDTH)
+        return self.keys.peek()[offsets]
 
     # ------------------------------------------------------------------ insert
     def insert(self, key: int, value: int = 0) -> bool:
@@ -131,6 +173,65 @@ class BackingTable:
                     self._n_items += 1
                     return True
         return False
+
+    def bulk_insert(
+        self, keys: Sequence[int], values: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """Vectorised insert of a batch; returns a per-key success mask.
+
+        Each probe round resolves every still-unplaced key at once: the
+        round's buckets are gathered, free slots are assigned *positionally*
+        by each key's rank inside its bucket group (so duplicate keys and
+        bucket collisions never race for one slot), and the leftovers carry
+        to the next round.  Hardware events mirror the point path: one
+        cache-line read per (key, bucket probed), one atomic CAS (32-byte
+        read + write) per placement, one line write per value stored.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        placed = np.zeros(keys.size, dtype=bool)
+        if keys.size == 0:
+            return placed
+        if values is None:
+            values = np.zeros(keys.size, dtype=np.uint64)
+        values = np.asarray(values, dtype=np.uint64)
+        stored = self._encode_batch(keys)
+        h1, h2 = self._hash_batch(keys)
+        data = self.keys.peek()
+        pending = np.arange(keys.size)
+        for round_idx in range(self.max_probes):
+            if pending.size == 0:
+                break
+            buckets = self._probe_round(h1[pending], h2[pending], round_idx)
+            self.recorder.add(cache_line_reads=int(pending.size))
+            windows = self._bucket_windows(buckets)
+            free_mask = (windows == np.uint64(EMPTY_SLOT)) | (
+                windows == np.uint64(TOMBSTONE_SLOT)
+            )
+            n_free = free_mask.sum(axis=1)
+            # Rank each key inside its bucket group (batch order preserved).
+            order = np.argsort(buckets, kind="stable")
+            rank = group_ranks(buckets[order])
+            take = rank < n_free[order]
+            if take.any():
+                rows = order[take]
+                # The rank-th free slot of each window, free slots first.
+                free_order = np.argsort(~free_mask, axis=1, kind="stable")
+                slot_offsets = free_order[rows, rank[take]]
+                flat = buckets[rows] * self.BUCKET_WIDTH + slot_offsets
+                winners = pending[rows]
+                data[flat] = stored[winners]
+                self.recorder.add(
+                    atomic_ops=int(rows.size),
+                    coalesced_bytes_read=32 * int(rows.size),
+                    coalesced_bytes_written=32 * int(rows.size),
+                )
+                if self.config.value_bits:
+                    self.values.peek()[flat] = values[winners]
+                    self.recorder.add(cache_line_writes=int(rows.size))
+                placed[winners] = True
+                self._n_items += int(rows.size)
+            pending = pending[order[~take]] if (~take).any() else pending[:0]
+        return placed
 
     # ------------------------------------------------------------------- query
     def query(self, key: int) -> Optional[int]:
@@ -157,6 +258,47 @@ class BackingTable:
     def contains(self, key: int) -> bool:
         return self.query(key) is not None
 
+    def bulk_contains(self, keys: Sequence[int]) -> np.ndarray:
+        """Vectorised membership for a batch; returns a boolean array.
+
+        Keys resolve as soon as their probe round either matches (present)
+        or lands in a bucket with an empty slot (definitely absent); only
+        unresolved keys continue, so the typical negative query costs one
+        round, exactly like the point path.
+        """
+        found, _values = self.bulk_query_values(keys)
+        return found
+
+    def bulk_query_values(self, keys: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised lookup: ``(found mask, stored values)`` per key."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        found = np.zeros(keys.size, dtype=bool)
+        out_values = np.zeros(keys.size, dtype=np.uint64)
+        if keys.size == 0:
+            return found, out_values
+        stored = self._encode_batch(keys)
+        h1, h2 = self._hash_batch(keys)
+        pending = np.arange(keys.size)
+        for round_idx in range(self.max_probes):
+            if pending.size == 0:
+                break
+            buckets = self._probe_round(h1[pending], h2[pending], round_idx)
+            self.recorder.add(cache_line_reads=int(pending.size))
+            windows = self._bucket_windows(buckets)
+            match_mask = windows == stored[pending, None]
+            hit = match_mask.any(axis=1)
+            if hit.any():
+                hit_rows = np.flatnonzero(hit)
+                found[pending[hit_rows]] = True
+                if self.config.value_bits:
+                    slot_offsets = np.argmax(match_mask[hit_rows], axis=1)
+                    flat = buckets[hit_rows] * self.BUCKET_WIDTH + slot_offsets
+                    out_values[pending[hit_rows]] = self.values.peek()[flat]
+                    self.recorder.add(cache_line_reads=int(hit_rows.size))
+            has_empty = (windows == np.uint64(EMPTY_SLOT)).any(axis=1)
+            pending = pending[~hit & ~has_empty]
+        return found, out_values
+
     # ------------------------------------------------------------------ delete
     def delete(self, key: int) -> bool:
         """Tombstone one occurrence of ``key``; returns True if found."""
@@ -176,6 +318,60 @@ class BackingTable:
             if np.any(slots == EMPTY_SLOT):
                 return False
         return False
+
+    def bulk_delete(self, keys: Sequence[int]) -> np.ndarray:
+        """Tombstone one occurrence per requested key; returns a removal mask.
+
+        Duplicate requests for one key are ranked so each consumes a distinct
+        stored copy; a request whose rank exceeds the copies in the round's
+        bucket falls through to the next probe round, mirroring sequential
+        point deletes.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        removed = np.zeros(keys.size, dtype=bool)
+        if keys.size == 0:
+            return removed
+        stored = self._encode_batch(keys)
+        h1, h2 = self._hash_batch(keys)
+        data = self.keys.peek()
+        pending = np.arange(keys.size)
+        for round_idx in range(self.max_probes):
+            if pending.size == 0:
+                break
+            buckets = self._probe_round(h1[pending], h2[pending], round_idx)
+            self.recorder.add(cache_line_reads=int(pending.size))
+            windows = self._bucket_windows(buckets)
+            match_mask = windows == stored[pending, None]
+            n_match = match_mask.sum(axis=1)
+            # Rank requests contending for the same stored slots: the round's
+            # contention group is (bucket, stored word) — duplicate keys
+            # always share it, and sentinel-aliased distinct keys (0/2, 1/3
+            # encode to one word) share it exactly when they land in the same
+            # bucket and really do fight over the same matches.
+            order = np.lexsort((stored[pending], buckets))
+            b_ord, s_ord = buckets[order], stored[pending][order]
+            first = run_first_mask(b_ord) | run_first_mask(s_ord)
+            first_idx = np.flatnonzero(first)
+            rank = np.arange(order.size) - first_idx[np.cumsum(first) - 1]
+            take = rank < n_match[order]
+            if take.any():
+                rows = order[take]
+                match_order = np.argsort(~match_mask, axis=1, kind="stable")
+                slot_offsets = match_order[rows, rank[take]]
+                flat = buckets[rows] * self.BUCKET_WIDTH + slot_offsets
+                data[flat] = np.uint64(TOMBSTONE_SLOT)
+                self.recorder.add(
+                    atomic_ops=int(rows.size),
+                    coalesced_bytes_read=32 * int(rows.size),
+                    coalesced_bytes_written=32 * int(rows.size),
+                )
+                removed[pending[rows]] = True
+                self._n_items -= int(rows.size)
+            # Unmatched requests stop at a bucket holding an empty slot.
+            has_empty = (windows == np.uint64(EMPTY_SLOT)).any(axis=1)
+            leftover = order[~take]
+            pending = pending[leftover[~has_empty[leftover]]]
+        return removed
 
     # ----------------------------------------------------------------- iterate
     def iter_items(self):

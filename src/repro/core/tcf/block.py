@@ -62,6 +62,7 @@ class BlockedTable:
             name=name,
         )
         self._cg = CooperativeGroup(config.cg_size, recorder)
+        self._flat_base: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ sizes
     @property
@@ -213,6 +214,88 @@ class BlockedTable:
                     return True
                 ballot &= ~(1 << leader)
         return False
+
+    # ------------------------------------------------------- batched (bulk) view
+    def rows(self) -> np.ndarray:
+        """Host-side ``(n_blocks, block_size)`` view of the slot array.
+
+        Writes through; callers charge the appropriate staged-tile traffic
+        via :func:`repro.gpusim.sharedmem.account_batched_tiles`.
+        """
+        return self.slots.peek().reshape(self.n_blocks, self.config.block_size)
+
+    def resort_rows(self, block_indices: np.ndarray) -> None:
+        """Re-sort the given blocks ascending (host-side, writes through).
+
+        The bulk TCF's row invariant — every block ascending, so empties (0)
+        and tombstones (1) sit in front of the live fingerprint words — is
+        what makes whole-batch ``searchsorted`` probing possible.
+        """
+        if block_indices.size == 0:
+            return
+        rows = self.rows()
+        staged = rows[block_indices]
+        staged.sort(axis=1)
+        rows[block_indices] = staged
+
+    @property
+    def flat_key_shift(self) -> Optional[int]:
+        """Bit shift packing ``(block, slot word)`` into one uint64 sort key.
+
+        ``None`` when a slot word plus the block index cannot fit 64 bits
+        (only reachable with 64-bit slot words), in which case the bulk paths
+        fall back to per-item probing.
+        """
+        shift = 8 * self.config.slot_dtype.itemsize
+        if self.n_blocks > (1 << (64 - shift)):
+            return None
+        return shift
+
+    def flat_sorted_keys(self) -> Optional[np.ndarray]:
+        """Globally sorted ``(block << shift) | word`` keys, one per slot.
+
+        Because every block row is kept ascending and rows are laid out in
+        block order, this flattened key array is globally sorted: position
+        ``i`` corresponds to flat slot ``i`` of the table, so one batched
+        ``searchsorted`` resolves an arbitrary set of (block, fingerprint)
+        probes.  Host-side helper; the caller accounts per-probe traffic.
+        """
+        shift = self.flat_key_shift
+        if shift is None:
+            return None
+        if self._flat_base is None:
+            self._flat_base = np.repeat(
+                np.arange(self.n_blocks, dtype=np.uint64), self.config.block_size
+            ) << np.uint64(shift)
+        # Slot words never reach the block bits, so + is equivalent to |.
+        return self._flat_base + self.slots.peek()
+
+    def free_counts(self) -> np.ndarray:
+        """Per-block insertable-slot counts (host-side, vectorised)."""
+        return self.config.block_size - self.fills()
+
+    def row_lower_bound(self, blocks: np.ndarray, words: np.ndarray) -> np.ndarray:
+        """Batched in-row binary search: per probe, the first slot offset of
+        ``blocks[i]``'s row whose word is >= ``words[i]``.
+
+        A branchless lower bound over the sorted rows — log2(B) strided
+        gathers for the whole batch, the vectorised equivalent of the
+        cooperative group's in-tile binary search.  Host-side helper; callers
+        charge one staged line and log2(B) instructions per probe.
+        """
+        data = self.slots.peek()
+        bs = self.config.block_size
+        row_start = blocks.astype(np.int64) * bs
+        targets = words.astype(np.int64)
+        pos = np.zeros(blocks.size, dtype=np.int64)
+        step = 1 << (bs - 1).bit_length() if bs > 1 else 1
+        while step:
+            cand = pos + step
+            gather = np.minimum(row_start + cand - 1, data.size - 1)
+            advance = (cand <= bs) & (data[gather].astype(np.int64) < targets)
+            pos = np.where(advance, cand, pos)
+            step >>= 1
+        return pos
 
     # --------------------------------------------------------------- iterate
     def iter_live_slots(self) -> Iterator[Tuple[int, int, int]]:

@@ -15,17 +15,38 @@ pass; the remaining handful go to the backing table, exactly as in the point
 filter.  The default configuration uses 128-byte blocks of 64 16-bit slots,
 which is why the bulk TCF needs ~33 % more space than the point filter for
 the same false-positive rate (ε = 2B/2^f grows with the block size).
+
+The hot paths are whole-batch NumPy operations over the table reshaped to
+``(n_blocks, block_size)``: one sort + ``searchsorted`` routes the entire
+batch, per-block free capacity comes from a vectorised fill count, spills are
+split off *positionally* (so duplicate fingerprint words can never be
+mis-attributed to the wrong key), and every touched block is rewritten with
+one batched per-row sort and a single write-back.  Batches at or below
+:data:`TCF_SEQUENTIAL_BATCH_MAX` keep the per-item code path, which is
+cheaper than staging whole-table views for a handful of keys.  Simulated
+hardware events are charged per touched block / per probe exactly as the
+per-item path charges them, so throughput figures keep their meaning.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ...gpusim.kernel import KernelContext, bulk_block_launch, point_launch
-from ...gpusim.sharedmem import SharedMemoryTile
-from ...gpusim.sorting import device_lower_bound, device_sort_by_key
+from ...gpusim.kernel import (
+    KernelContext,
+    bulk_block_launch,
+    bulk_tile_launch,
+    point_launch,
+)
+from ...gpusim.sharedmem import SharedMemoryTile, account_batched_tiles
+from ...gpusim.sorting import (
+    device_lower_bound,
+    device_sort_by_key,
+    group_ranks,
+    run_first_mask,
+)
 from ...gpusim.stats import StatsRecorder
 from ...hashing import potc
 from ..base import AbstractFilter, FilterCapabilities
@@ -33,6 +54,11 @@ from ..exceptions import FilterFullError, UnsupportedOperationError
 from .backing import BackingTable
 from .block import BlockedTable
 from .config import BULK_TCF_DEFAULT, EMPTY_SLOT, TOMBSTONE_SLOT, TCFConfig
+
+#: Batches at or below this size route through the per-item code path; the
+#: whole-table staging of the vectorised path only pays off beyond it (same
+#: role as the bulk GQF's ``SEQUENTIAL_BATCH_MAX``).
+TCF_SEQUENTIAL_BATCH_MAX = 32
 
 
 class BulkTCF(AbstractFilter):
@@ -140,8 +166,39 @@ class BulkTCF(AbstractFilter):
             self.config.fingerprint_bits,
         )
 
+    def _pack_words(self, fingerprints: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Pack (fingerprint, value) pairs into slot words (slot dtype)."""
+        vb = self.config.value_bits
+        words = (
+            (fingerprints.astype(np.uint64) << np.uint64(vb))
+            | (values & np.uint64((1 << vb) - 1))
+            if vb
+            else fingerprints.astype(np.uint64)
+        )
+        return words.astype(self.config.slot_dtype)
+
+    def _fingerprint_word_bounds(
+        self, fingerprints: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Slot-word interval ``[lo, hi)`` covering a fingerprint's values."""
+        vb = np.uint64(self.config.value_bits)
+        fp = fingerprints.astype(np.uint64)
+        return fp << vb, (fp + np.uint64(1)) << vb
+
     def _block_slice(self, block_idx: int) -> Tuple[int, int]:
         return self.table.block_bounds(block_idx)
+
+    def _vectorisable(self, batch_size: int) -> bool:
+        """Whether a batch takes the whole-batch path.
+
+        Tiny batches keep the per-item code (staging whole-table views costs
+        more than it saves), and tables whose (block, word) pairs cannot be
+        packed into a 64-bit sort key fall back as well.
+        """
+        return (
+            batch_size > TCF_SEQUENTIAL_BATCH_MAX
+            and self.table.flat_key_shift is not None
+        )
 
     def _sorted_block_merge(
         self, block_idx: int, new_words: np.ndarray
@@ -162,10 +219,6 @@ class BulkTCF(AbstractFilter):
             overflow = new_words[free_slots:]
             merged = np.sort(np.concatenate([live, accepted]))
             padded = np.full(self.config.block_size, EMPTY_SLOT, dtype=current.dtype)
-            # Keep sorted fingerprints at the front, empties at the back; the
-            # whole block remains ascending because EMPTY sorts below any
-            # valid fingerprint only if placed first, so store fingerprints
-            # first and rely on the query path to ignore empties.
             padded[: merged.size] = merged
             tile.replace(np.sort(padded))
             self.recorder.add(instructions=self.config.block_size)
@@ -187,22 +240,126 @@ class BulkTCF(AbstractFilter):
             values = np.zeros(keys.size, dtype=np.uint64)
         values = np.asarray(values, dtype=np.uint64)
         h = self._derive_batch(keys)
-        vb = self.config.value_bits
-        words = (
-            (h.fingerprint.astype(np.uint64) << np.uint64(vb)) | (values & np.uint64((1 << vb) - 1))
-            if vb
-            else h.fingerprint.astype(np.uint64)
-        ).astype(self.config.slot_dtype)
+        words = self._pack_words(h.fingerprint, values)
+        if not self._vectorisable(int(keys.size)):
+            return self._bulk_insert_sequential(keys, values, h, words)
+        return self._bulk_insert_vectorised(keys, values, h, words)
 
+    def _merge_pass(
+        self,
+        words: np.ndarray,
+        blocks: np.ndarray,
+        positions: np.ndarray,
+        kernel_name: str,
+        scan_all_blocks: bool,
+    ) -> np.ndarray:
+        """One whole-batch merge pass; returns the spilled batch positions.
+
+        ``blocks``/``positions`` are aligned subsets of the batch (candidate
+        block and original batch index per item).  The batch is sorted by a
+        combined ``(block, word)`` key, so items arrive at each block in
+        ascending word order with ties in batch order — the same acceptance
+        set as per-item sorted merges, with spills tracked *positionally*
+        (never by word value, so duplicate words cannot be mis-attributed).
+        """
+        shift = np.uint64(self.table.flat_key_shift)
+        sort_keys = (blocks.astype(np.uint64) << shift) + words.astype(np.uint64)
+        _sorted_keys, perm = device_sort_by_key(
+            sort_keys, np.arange(blocks.size), self.recorder
+        )
+        sorted_blocks = blocks[perm]
+        if scan_all_blocks:
+            # Successor search over every table block (one group per block).
+            block_starts = device_lower_bound(
+                _sorted_keys,
+                np.arange(self.table.n_blocks, dtype=np.uint64) << shift,
+                self.recorder,
+            )
+            counts_all = np.diff(np.append(block_starts, sorted_blocks.size))
+            touched = np.flatnonzero(counts_all)
+            starts = block_starts[touched]
+            counts = counts_all[touched]
+            launch = bulk_block_launch(self.table.n_blocks, self.config.cg_size)
+        else:
+            # sorted_blocks is sorted, so group boundaries are plain diffs
+            # (np.unique would re-sort and lazily import numpy.ma).
+            starts = np.flatnonzero(run_first_mask(sorted_blocks))
+            touched = sorted_blocks[starts]
+            counts = np.diff(np.append(starts, sorted_blocks.size))
+            launch = bulk_tile_launch(int(touched.size), self.config.cg_size)
+
+        with self.kernels.launch(kernel_name, launch):
+            free = self.table.free_counts()[touched]
+            rank = np.arange(sorted_blocks.size) - np.repeat(starts, counts)
+            accept = rank < np.repeat(free, counts)
+            n_accepted = np.minimum(counts, free)
+            if accept.any():
+                # Accepted words land in the leading free slots of their row
+                # (rows are sorted ascending, so empties/tombstones lead) and
+                # one batched per-row sort restores the block invariant.
+                dest_blocks = np.repeat(touched, n_accepted)
+                flat = dest_blocks * self.config.block_size + rank[accept]
+                self.table.slots.peek()[flat] = words[perm[accept]]
+            # Every touched block is staged, merged and written back, whether
+            # or not any of its items fit (mirrors the per-item tile cycle).
+            account_batched_tiles(
+                self.table.slots,
+                int(touched.size),
+                self.config.block_size,
+                self.recorder,
+                rewritten=True,
+                instructions_per_tile=self.config.block_size,
+            )
+            self.table.resort_rows(touched[n_accepted > 0])
+        return positions[perm[~accept]]
+
+    def _bulk_insert_vectorised(
+        self,
+        keys: np.ndarray,
+        values: np.ndarray,
+        h: potc.PotcHash,
+        words: np.ndarray,
+    ) -> int:
+        positions = np.arange(keys.size)
+        spilled = self._merge_pass(
+            words, h.primary, positions, "bulk_tcf_insert_pass1", scan_all_blocks=True
+        )
+        inserted = keys.size - spilled.size
+        if spilled.size:
+            leftovers = self._merge_pass(
+                words[spilled],
+                h.secondary[spilled],
+                spilled,
+                "bulk_tcf_insert_pass2",
+                scan_all_blocks=False,
+            )
+            inserted += spilled.size - leftovers.size
+            spilled = leftovers
+        if spilled.size:
+            placed = self.backing.bulk_insert(keys[spilled], values[spilled])
+            inserted += int(np.count_nonzero(placed))
+            if not placed.all():
+                self._n_items += inserted
+                raise FilterFullError(
+                    "bulk TCF full: backing table overflowed during bulk insert"
+                )
+        self._n_items += inserted
+        return inserted
+
+    def _bulk_insert_sequential(
+        self,
+        keys: np.ndarray,
+        values: np.ndarray,
+        h: potc.PotcHash,
+        words: np.ndarray,
+    ) -> int:
+        """Per-item two-pass insert (small batches and point wrappers)."""
         inserted = 0
         # ---- pass 1: primary blocks --------------------------------------
         order_keys, order_idx = device_sort_by_key(
             h.primary.astype(np.int64), np.arange(keys.size), self.recorder
         )
-        overflow_words: List[np.ndarray] = []
-        overflow_secondary: List[np.ndarray] = []
-        overflow_keys: List[np.ndarray] = []
-        overflow_values: List[np.ndarray] = []
+        overflow_positions: List[np.ndarray] = []
         block_starts = device_lower_bound(
             order_keys, np.arange(self.table.n_blocks), self.recorder
         )
@@ -216,56 +373,47 @@ class BulkTCF(AbstractFilter):
                 if lo >= hi:
                     continue
                 idx = order_idx[lo:hi]
-                new_words = np.sort(words[idx])
+                # Stable word sort keeps batch order among equal words, so the
+                # spilled tail maps back to the right original items even when
+                # the batch contains duplicate fingerprint words.
+                idx_sorted = idx[np.argsort(words[idx], kind="stable")]
+                new_words = words[idx_sorted]
                 spill = self._sorted_block_merge(block_idx, new_words)
                 n_in = new_words.size - spill.size
                 inserted += n_in
                 if spill.size:
-                    # Recover which original items spilled (by word value) so
-                    # the second pass can route them to their secondary block.
-                    spilled_mask = np.isin(words[idx], spill)
-                    # isin may over-select duplicates; trim to the spill count.
-                    spilled_positions = idx[spilled_mask][: spill.size]
-                    overflow_words.append(words[spilled_positions])
-                    overflow_secondary.append(h.secondary[spilled_positions])
-                    overflow_keys.append(keys[spilled_positions])
-                    overflow_values.append(values[spilled_positions])
+                    overflow_positions.append(idx_sorted[n_in:])
 
         # ---- pass 2: secondary blocks -------------------------------------
-        leftovers_keys = np.array([], dtype=np.uint64)
-        leftovers_values = np.array([], dtype=np.uint64)
-        if overflow_words:
-            o_words = np.concatenate(overflow_words)
-            o_secondary = np.concatenate(overflow_secondary).astype(np.int64)
-            o_keys = np.concatenate(overflow_keys)
-            o_values = np.concatenate(overflow_values)
+        leftovers = np.array([], dtype=np.int64)
+        if overflow_positions:
+            o_positions = np.concatenate(overflow_positions)
             sort_sec, sort_idx = device_sort_by_key(
-                o_secondary, np.arange(o_words.size), self.recorder
+                h.secondary[o_positions].astype(np.int64),
+                np.arange(o_positions.size),
+                self.recorder,
             )
-            still_keys: List[np.ndarray] = []
-            still_values: List[np.ndarray] = []
+            still: List[np.ndarray] = []
+            sec_blocks = sort_sec[run_first_mask(sort_sec)]
             with self.kernels.launch(
                 "bulk_tcf_insert_pass2",
-                bulk_block_launch(max(1, len(np.unique(sort_sec))), self.config.cg_size),
+                bulk_tile_launch(len(sec_blocks), self.config.cg_size),
             ):
-                for block_idx in np.unique(sort_sec):
-                    sel = sort_idx[sort_sec == block_idx]
-                    new_words = np.sort(o_words[sel])
+                for block_idx in sec_blocks:
+                    sel = o_positions[sort_idx[sort_sec == block_idx]]
+                    sel_sorted = sel[np.argsort(words[sel], kind="stable")]
+                    new_words = words[sel_sorted]
                     spill = self._sorted_block_merge(int(block_idx), new_words)
                     n_in = new_words.size - spill.size
                     inserted += n_in
                     if spill.size:
-                        spilled_mask = np.isin(o_words[sel], spill)
-                        spilled_positions = sel[spilled_mask][: spill.size]
-                        still_keys.append(o_keys[spilled_positions])
-                        still_values.append(o_values[spilled_positions])
-            if still_keys:
-                leftovers_keys = np.concatenate(still_keys)
-                leftovers_values = np.concatenate(still_values)
+                        still.append(sel_sorted[n_in:])
+            if still:
+                leftovers = np.concatenate(still)
 
         # ---- pass 3: backing table ------------------------------------------
-        for key, value in zip(leftovers_keys, leftovers_values):
-            if not self.backing.insert(int(key), int(value)):
+        for pos in leftovers:
+            if not self.backing.insert(int(keys[pos]), int(values[pos])):
                 self._n_items += inserted
                 raise FilterFullError(
                     "bulk TCF full: backing table overflowed during bulk insert"
@@ -302,14 +450,49 @@ class BulkTCF(AbstractFilter):
         with self.kernels.launch(
             "bulk_tcf_query", point_launch(keys.size, self.config.cg_size)
         ):
-            for i in range(keys.size):
-                fp = int(h.fingerprint[i])
-                if self._search_block(int(h.primary[i]), fp) is not None:
-                    out[i] = True
-                elif self._search_block(int(h.secondary[i]), fp) is not None:
-                    out[i] = True
-                else:
-                    out[i] = self.backing.contains(int(keys[i]))
+            if not self._vectorisable(int(keys.size)):
+                for i in range(keys.size):
+                    fp = int(h.fingerprint[i])
+                    if self._search_block(int(h.primary[i]), fp) is not None:
+                        out[i] = True
+                    elif self._search_block(int(h.secondary[i]), fp) is not None:
+                        out[i] = True
+                    else:
+                        out[i] = self.backing.contains(int(keys[i]))
+                return out
+
+            search_instr = int(np.log2(max(2, self.config.block_size)))
+            lo_w, hi_w = self._fingerprint_word_bounds(h.fingerprint)
+            data = self.table.slots.peek()
+            block_size = self.config.block_size
+
+            def probe(blocks: np.ndarray, sel: np.ndarray) -> np.ndarray:
+                # Batched in-row binary search: a fingerprint is present iff
+                # the successor of its word range's lower bound falls inside
+                # the range (one staged line + log2(B) steps per probe).
+                pos = self.table.row_lower_bound(blocks, lo_w[sel])
+                successor_idx = np.minimum(
+                    blocks.astype(np.int64) * block_size + pos, data.size - 1
+                )
+                found = (pos < block_size) & (
+                    data[successor_idx].astype(np.uint64) < hi_w[sel]
+                )
+                self.recorder.add(
+                    cache_line_reads=int(sel.size),
+                    instructions=search_instr * int(sel.size),
+                )
+                return found
+
+            every = np.arange(keys.size)
+            hit = probe(h.primary, every)
+            out[hit] = True
+            miss = np.flatnonzero(~hit)
+            if miss.size:
+                hit2 = probe(h.secondary[miss], miss)
+                out[miss[hit2]] = True
+                still = miss[~hit2]
+                if still.size:
+                    out[still] = self.backing.bulk_contains(keys[still])
         return out
 
     # ------------------------------------------------------------------ point API
@@ -359,14 +542,85 @@ class BulkTCF(AbstractFilter):
         raise UnsupportedOperationError("the TCF does not support counting")
 
     def bulk_delete(self, keys: Sequence[int]) -> int:
+        """Delete one stored occurrence per requested key (batched).
+
+        The vectorised path resolves the whole batch against the primary
+        blocks (batched binary search + positional ranking, so duplicate
+        requests consume distinct stored copies), retries the misses against
+        the secondary blocks, and hands what is left to the backing table.
+
+        Like the real GPU kernel, the batch is *unordered*: requests resolve
+        pass by pass (all primaries, then all secondaries, then backing), not
+        in strict batch order.  When distinct keys collide on a fingerprint
+        *and* one key's primary block is another's secondary, which stored
+        copy gets consumed can therefore differ from per-item deletion order
+        — the same which-copy ambiguity fingerprint filters already have for
+        colliding deletes, not a new hazard.
+        """
         keys = np.asarray(keys, dtype=np.uint64)
+        if keys.size == 0:
+            return 0
+        if not self._vectorisable(int(keys.size)):
+            removed = 0
+            with self.kernels.launch(
+                "bulk_tcf_delete", point_launch(keys.size, self.config.cg_size)
+            ):
+                for key in keys:
+                    if self.delete(int(key)):
+                        removed += 1
+            return removed
+
+        h = self._derive_batch(keys)
+        shift = np.uint64(self.table.flat_key_shift)
+        lo_w, hi_w = self._fingerprint_word_bounds(h.fingerprint)
+        block_size = self.config.block_size
+        data = self.table.slots.peek()
         removed = 0
         with self.kernels.launch(
             "bulk_tcf_delete", point_launch(keys.size, self.config.cg_size)
         ):
-            for key in keys:
-                if self.delete(int(key)):
-                    removed += 1
+            pending = np.arange(keys.size)
+            for candidates in (h.primary, h.secondary):
+                if pending.size == 0:
+                    break
+                flat = self.table.flat_sorted_keys()
+                base = candidates[pending].astype(np.uint64) << shift
+                probe_lo = base + lo_w[pending]
+                lo = np.searchsorted(flat, probe_lo)
+                hi = np.searchsorted(flat, base + hi_w[pending])
+                n_avail = hi - lo
+                # Rank duplicate (block, fingerprint) requests in batch order
+                # so each consumes a distinct stored slot.
+                order = np.argsort(probe_lo, kind="stable")
+                rank = group_ranks(probe_lo[order])
+                take = rank < n_avail[order]
+                # Each request stages its candidate block (read + one pass).
+                account_batched_tiles(
+                    self.table.slots,
+                    int(pending.size),
+                    block_size,
+                    self.recorder,
+                    rewritten=False,
+                )
+                hits = order[take]
+                if hits.size:
+                    slot_flat = lo[hits] + rank[take]
+                    data[slot_flat] = EMPTY_SLOT
+                    # slot_flat ascends (probes were rank-ordered), so the
+                    # touched blocks dedupe with a plain first-occurrence flag.
+                    blocks_mod = slot_flat // block_size
+                    self.table.resort_rows(blocks_mod[run_first_mask(blocks_mod)])
+                    # Hits recompact and write their block back (per request,
+                    # as the per-item path re-stages the block every time).
+                    self.recorder.add(
+                        shared_memory_accesses=block_size * int(hits.size),
+                        cache_line_writes=int(hits.size),
+                    )
+                    removed += int(hits.size)
+                pending = pending[order[~take]]
+            if pending.size:
+                removed += int(np.count_nonzero(self.backing.bulk_delete(keys[pending])))
+        self._n_items -= removed
         return removed
 
     # ---------------------------------------------------------------- analysis

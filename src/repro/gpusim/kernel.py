@@ -136,3 +136,14 @@ def bulk_region_launch(n_regions: int) -> LaunchConfig:
 def bulk_block_launch(n_blocks: int, cg_size: int) -> LaunchConfig:
     """Launch geometry for a bulk kernel mapping one group per table block."""
     return LaunchConfig(n_work_items=n_blocks, threads_per_item=cg_size)
+
+
+def bulk_tile_launch(n_tiles: int, cg_size: int) -> LaunchConfig:
+    """Launch geometry for a batched-merge kernel: one group per staged tile.
+
+    The vectorised bulk-TCF passes only stage the blocks that actually
+    receive (or lose) items, so the exposed parallelism is the number of
+    *touched* blocks, not the whole table.  A zero-tile launch (every item
+    already resolved) degenerates to a single bookkeeping work item.
+    """
+    return LaunchConfig(n_work_items=max(1, n_tiles), threads_per_item=cg_size)

@@ -18,6 +18,41 @@ from .memory import DeviceArray
 from .stats import StatsRecorder
 
 
+def account_batched_tiles(
+    source: DeviceArray,
+    n_tiles: int,
+    tile_elems: int,
+    recorder: Optional[StatsRecorder] = None,
+    rewritten: bool = True,
+    instructions_per_tile: int = 0,
+) -> None:
+    """Record the traffic of staging ``n_tiles`` equal-sized tiles at once.
+
+    The vectorised bulk paths operate on many blocks as one whole-array
+    operation instead of entering a :class:`SharedMemoryTile` context per
+    block.  This helper charges exactly what ``n_tiles`` stage / ``view()`` /
+    ``replace()`` / flush cycles would have: one coalesced line load and (when
+    ``rewritten``) one coalesced line store per tile, plus two shared-memory
+    accesses per element (read into shared, write back after the merge).
+    Passing ``rewritten=False`` models read-only staging (queries), which
+    costs the load and a single pass over the tile.
+    """
+    if n_tiles <= 0 or tile_elems <= 0:
+        return
+    recorder = recorder if recorder is not None else source.recorder
+    lines_per_tile = max(1, (tile_elems * source.itemsize + source.cache_line_bytes - 1)
+                         // source.cache_line_bytes)
+    events = {
+        "cache_line_reads": n_tiles * lines_per_tile,
+        "shared_memory_accesses": n_tiles * tile_elems * (2 if rewritten else 1),
+    }
+    if rewritten:
+        events["cache_line_writes"] = n_tiles * lines_per_tile
+    if instructions_per_tile:
+        events["instructions"] = n_tiles * instructions_per_tile
+    recorder.add(**events)
+
+
 class SharedMemoryTile:
     """A staging copy of a contiguous region of a :class:`DeviceArray`.
 

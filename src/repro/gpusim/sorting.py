@@ -93,9 +93,7 @@ def device_reduce_by_key(
     )
     if keys.size == 0:
         return keys.copy(), values.copy()
-    boundaries = np.empty(keys.size, dtype=bool)
-    boundaries[0] = True
-    boundaries[1:] = keys[1:] != keys[:-1]
+    boundaries = run_first_mask(keys)
     group_ids = np.cumsum(boundaries) - 1
     unique_keys = keys[boundaries]
     sums = np.zeros(unique_keys.size, dtype=values.dtype)
@@ -126,6 +124,37 @@ def device_lower_bound(
         kernel_launches=1,
     )
     return np.searchsorted(sorted_keys, probes, side="left")
+
+
+def run_first_mask(grouped_keys: np.ndarray) -> np.ndarray:
+    """Boolean mask marking the first element of each run of equal values.
+
+    ``grouped_keys`` must have equal values adjacent (e.g. after a stable
+    sort).  Shared boundary primitive for the segment-grouped bulk paths;
+    pure index math (kept in registers on the device), so no traffic is
+    recorded.
+    """
+    grouped_keys = np.asarray(grouped_keys)
+    first = np.ones(grouped_keys.size, dtype=bool)
+    if grouped_keys.size:
+        first[1:] = grouped_keys[1:] != grouped_keys[:-1]
+    return first
+
+
+def group_ranks(grouped_keys: np.ndarray) -> np.ndarray:
+    """Rank of every element within its run of equal adjacent values.
+
+    ``grouped_keys`` must have equal values adjacent (e.g. after a stable
+    sort); the result is ``0, 1, 2, ...`` restarting at each new value.  The
+    bulk paths use this to let duplicate requests claim *distinct* slots —
+    positional attribution instead of value matching.
+    """
+    grouped_keys = np.asarray(grouped_keys)
+    if grouped_keys.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    first = run_first_mask(grouped_keys)
+    first_idx = np.flatnonzero(first)
+    return np.arange(grouped_keys.size) - first_idx[np.cumsum(first) - 1]
 
 
 def device_exclusive_scan(

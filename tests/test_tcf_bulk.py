@@ -43,9 +43,17 @@ class TestBulkInsertQuery:
 
     def test_blocks_stay_sorted(self, bulk, keys_1k):
         bulk.bulk_insert(keys_1k)
-        data = bulk.table.slots.peek().reshape(bulk.table.n_blocks, bulk.config.block_size)
-        for row in data:
-            assert np.all(np.diff(row.astype(np.int64)) >= 0) or np.all(np.sort(row) == row)
+        data = bulk.table.rows()
+        assert np.all(np.diff(data.astype(np.int64), axis=1) >= 0)
+
+    def test_blocks_stay_sorted_after_bulk_delete(self, bulk, keys_1k):
+        """The row invariant (ascending blocks, empties leading) must survive
+        batched deletes — the vectorised probes depend on it."""
+        bulk.bulk_insert(keys_1k)
+        bulk.bulk_delete(keys_1k[::2])
+        data = bulk.table.rows()
+        assert np.all(np.diff(data.astype(np.int64), axis=1) >= 0)
+        assert bulk.bulk_query(keys_1k[1::2]).all()
 
     def test_point_insert_and_query(self, bulk):
         assert bulk.insert(12345)
