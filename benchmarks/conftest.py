@@ -22,9 +22,9 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 #: Simulation scale (log2 slots) used by the benchmarks.  Small enough that
 #: the whole suite runs in a few minutes, large enough that per-operation
 #: event counts are stable.  With both bulk filters vectorised (GQF in PR 1,
-#: TCF in PR 2) the filling phase no longer caps the scale, so the sampled
-#: table size doubles again.
-BENCH_SIM_LG = 13
+#: TCF in PR 2) and all six baselines vectorised (PR 3) no filling phase
+#: caps the scale anymore, so the sampled table size doubles again.
+BENCH_SIM_LG = 14
 #: Queries simulated per phase.
 BENCH_QUERIES = 1024
 

@@ -61,19 +61,36 @@ def measure_accuracy(
     seed: int = 0xACC,
     bulk: bool = False,
 ) -> AccuracyResult:
-    """Fill ``filt`` with ``n_items`` keys and measure FP rate and BPI."""
+    """Fill ``filt`` with ``n_items`` keys and measure FP rate and BPI.
+
+    The inserted count is derived from the filter's own item count before
+    and after the fill, so a bulk insert that raises
+    :class:`~repro.core.exceptions.FilterFullError` mid-batch still reports
+    how many keys actually landed (the bulk APIs fill the table before
+    raising).  Negative queries are drawn disjoint from the *whole* insert
+    key set — a partially-filled bulk batch is not a prefix of ``keys``, so
+    excluding only a prefix would count true positives as false positives.
+    """
     keys = generate_keys(n_items, seed)
-    inserted = 0
+
+    def stored_items() -> int:
+        # Counting filters report n_items as *distinct* fingerprints, which
+        # silently merges key pairs that collide to one fingerprint; their
+        # multiset cardinality counts every inserted key, like the per-key
+        # loop counter used to.
+        return int(getattr(filt, "total_count", filt.n_items))
+
+    items_before = stored_items()
     try:
         if bulk:
-            inserted = filt.bulk_insert(keys)
+            filt.bulk_insert(keys)
         else:
             for key in keys:
                 filt.insert(int(key))
-                inserted += 1
     except FilterFullError:
         pass
-    negatives = generate_disjoint_keys(n_negative, seed ^ 0xFA15E, keys[:inserted])
+    inserted = stored_items() - items_before
+    negatives = generate_disjoint_keys(n_negative, seed ^ 0xFA15E, keys)
     if bulk:
         hits = int(np.count_nonzero(filt.bulk_query(negatives)))
     else:
@@ -98,7 +115,6 @@ def table2_configurations(lg_capacity: int = 16) -> List[Dict]:
     false-positive rate ~0.1 %, sized for ``2**lg_capacity`` items.
     """
     capacity = 1 << lg_capacity
-    recorder = StatsRecorder
 
     def tcf_factory() -> AbstractFilter:
         return PointTCF.for_capacity(capacity, POINT_TCF_DEFAULT, StatsRecorder())

@@ -1,0 +1,19 @@
+"""Shared bulk-path routing policy for the baseline filters.
+
+Every baseline's bulk entry point computes whole batches with NumPy array
+operations but keeps the per-item code for tiny batches, where staging
+whole-table views costs more than it saves — the same crossover the bulk
+TCF (``TCF_SEQUENTIAL_BATCH_MAX``) and bulk GQF
+(:data:`repro.core.gqf.layout.SEQUENTIAL_BATCH_MAX`) already use.  The
+per-item route doubles as the differential-testing reference: the
+vectorised paths are pinned to it bit-for-bit (state *and* simulated
+hardware events) by ``tests/test_baselines_vectorized.py``.
+"""
+
+#: Batches at or below this size route through the per-item code path.
+SEQUENTIAL_BATCH_MAX = 32
+
+
+def prefers_sequential(batch_size: int) -> bool:
+    """Whether a batch is too small to amortise the whole-batch staging."""
+    return batch_size <= SEQUENTIAL_BATCH_MAX

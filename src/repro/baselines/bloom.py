@@ -24,7 +24,8 @@ from ..gpusim.atomics import atomic_or
 from ..gpusim.kernel import KernelContext, point_launch
 from ..gpusim.memory import DeviceArray
 from ..gpusim.stats import StatsRecorder
-from ..hashing.mixers import hash_with_seed
+from ..hashing.mixers import hash_with_seed, hash_with_seeds
+from ._batching import prefers_sequential
 
 #: Bits per item used in the paper's evaluation (Table 2).
 PAPER_BITS_PER_ITEM = 10.1
@@ -52,14 +53,20 @@ class BloomFilter(AbstractFilter):
         n_bits: int,
         n_hashes: int = PAPER_NUM_HASHES,
         recorder: Optional[StatsRecorder] = None,
+        bits_per_item: float = PAPER_BITS_PER_ITEM,
     ) -> None:
         super().__init__(recorder)
         if n_bits <= 0:
             raise ValueError("n_bits must be positive")
         if n_hashes <= 0:
             raise ValueError("n_hashes must be positive")
+        if bits_per_item <= 0:
+            raise ValueError("bits_per_item must be positive")
         self.n_bits = int(n_bits)
         self.n_hashes = int(n_hashes)
+        #: Bits-per-item budget the filter was sized with (drives
+        #: :attr:`capacity`; ``bits_per_item`` itself is the measured metric).
+        self.sizing_bits_per_item = float(bits_per_item)
         n_words = (self.n_bits + 31) // 32
         self.words = DeviceArray(n_words, np.uint32, self.recorder, name="bloom-bits")
         self._n_items = 0
@@ -76,7 +83,7 @@ class BloomFilter(AbstractFilter):
     ) -> "BloomFilter":
         """Size the filter for ``n_items`` at a given bits-per-item budget."""
         n_bits = max(64, int(np.ceil(n_items * bits_per_item)))
-        return cls(n_bits, n_hashes, recorder)
+        return cls(n_bits, n_hashes, recorder, bits_per_item=bits_per_item)
 
     @classmethod
     def capabilities(cls) -> FilterCapabilities:
@@ -100,7 +107,8 @@ class BloomFilter(AbstractFilter):
     # ------------------------------------------------------------------- sizes
     @property
     def capacity(self) -> int:
-        return int(self.n_bits / PAPER_BITS_PER_ITEM)
+        """Items the filter was sized for (at its construction-time budget)."""
+        return int(self.n_bits / self.sizing_bits_per_item)
 
     @property
     def n_slots(self) -> int:
@@ -180,19 +188,58 @@ class BloomFilter(AbstractFilter):
         raise UnsupportedOperationError("Bloom filters cannot store values")
 
     # ---------------------------------------------------------------- bulk API
+    def _prefers_sequential(self, batch_size: int) -> bool:
+        """Tiny batches keep the per-item route (cheaper than staging)."""
+        return prefers_sequential(batch_size)
+
+    def _bit_positions_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`_bit_positions`: shape ``(n_keys, n_hashes)``."""
+        hashed = hash_with_seeds(keys, range(self.n_hashes))
+        return (hashed % np.uint64(self.n_bits)).astype(np.int64)
+
     def bulk_insert(self, keys: Sequence[int], values: Optional[Sequence[int]] = None) -> int:
         keys = np.asarray(keys, dtype=np.uint64)
+        if values is not None and np.any(np.asarray(values)):
+            raise UnsupportedOperationError("Bloom filters cannot store values")
         with self.kernels.launch("bloom_bulk_insert", point_launch(keys.size, 1)):
-            for key in keys:
-                self.insert(int(key))
+            if self._prefers_sequential(int(keys.size)):
+                for key in keys:
+                    self.insert(int(key))
+            elif keys.size:
+                positions = self._bit_positions_batch(keys)
+                words = positions // 32
+                masks = np.uint32(1) << (positions % 32).astype(np.uint32)
+                np.bitwise_or.at(self.words.peek(), words.ravel(), masks.ravel())
+                # Per probe the per-item path charges one line fetch plus the
+                # atomic OR's transaction (see insert); duplicates included.
+                total = int(positions.size)
+                self.recorder.add(
+                    cache_line_reads=total,
+                    atomic_ops=total,
+                    coalesced_bytes_read=32 * total,
+                    coalesced_bytes_written=32 * total,
+                )
+                self._n_items += int(keys.size)
         return int(keys.size)
 
     def bulk_query(self, keys: Sequence[int]) -> np.ndarray:
         keys = np.asarray(keys, dtype=np.uint64)
         out = np.zeros(keys.size, dtype=bool)
         with self.kernels.launch("bloom_bulk_query", point_launch(keys.size, 1)):
-            for i, key in enumerate(keys):
-                out[i] = self.query(int(key))
+            if self._prefers_sequential(int(keys.size)):
+                for i, key in enumerate(keys):
+                    out[i] = self.query(int(key))
+            elif keys.size:
+                positions = self._bit_positions_batch(keys)
+                data = self.words.peek()
+                bit_set = (
+                    (data[positions // 32] >> (positions % 32).astype(np.uint32)) & 1
+                ).astype(bool)
+                out = bit_set.all(axis=1)
+                # The per-item probe loop stops at the first zero bit; charge
+                # the reads up to (and including) that early exit.
+                reads = np.where(out, self.n_hashes, np.argmin(bit_set, axis=1) + 1)
+                self.recorder.add(cache_line_reads=int(reads.sum()))
         return out
 
     # ---------------------------------------------------------------- analysis

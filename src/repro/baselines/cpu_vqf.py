@@ -24,10 +24,11 @@ import numpy as np
 from ..core.base import AbstractFilter, FilterCapabilities
 from ..core.exceptions import FilterFullError, UnsupportedOperationError
 from ..core.tcf.block import BlockedTable
-from ..core.tcf.config import TCFConfig
+from ..core.tcf.config import EMPTY_SLOT, TOMBSTONE_SLOT, TCFConfig
 from ..gpusim.kernel import KernelContext, point_launch
 from ..gpusim.stats import StatsRecorder
 from ..hashing import potc
+from ._batching import prefers_sequential
 from .cpu_cqf import KNL_THREADS
 
 #: VQF block layout: 48 slots of 8-bit fingerprints per 512-bit block pair.
@@ -175,19 +176,174 @@ class CPUVectorQuotientFilter(AbstractFilter):
         raise UnsupportedOperationError("the VQF does not associate values")
 
     # ---------------------------------------------------------------- bulk API
+    def _prefers_sequential(self, batch_size: int) -> bool:
+        """Tiny batches keep the per-item route; the whole-batch emulation
+        below also assumes the VQF's single-lane cooperative groups."""
+        return prefers_sequential(batch_size) or self.config.cg_size != 1
+
+    def _derive_batch(self, keys: np.ndarray) -> potc.PotcHash:
+        return potc.derive(
+            keys.astype(np.uint64),
+            self.table.n_blocks,
+            self.config.fingerprint_bits,
+        )
+
+    def _block_lines(self) -> np.ndarray:
+        """Cache lines spanned by each block's slot row (alignment-aware)."""
+        bs = self.config.block_size
+        starts = np.arange(self.table.n_blocks, dtype=np.int64) * bs
+        per_line = self.table.slots.slots_per_line
+        return (starts + bs - 1) // per_line - starts // per_line + 1
+
+    def _bulk_insert_vectorised(self, keys: np.ndarray) -> None:
+        """Batched two-choice insert replaying the per-item decision stream.
+
+        The two-choice routing is inherently sequential (each insert changes
+        the fills the next decision reads), so a compressed Python loop walks
+        the batch over plain integer block fills — no per-slot cooperative-
+        group machinery, no per-item DeviceArray staging — while the slot
+        placement and all simulated hardware events are applied as whole-
+        batch array operations afterwards.  Placements consume each block's
+        free slots in scan order, exactly as the single-lane group's
+        first-free ballot does, so table state *and* events match the
+        per-item loop bit for bit.
+        """
+        h = self._derive_batch(keys)
+        bs = self.config.block_size
+        rows = self.table.rows()
+        free_mask = (rows == EMPTY_SLOT) | (rows == TOMBSTONE_SLOT)
+        live = (bs - free_mask.sum(axis=1)).astype(np.int64).tolist()
+        lines = self._block_lines().tolist()
+        cas_extra = 1 if self.config.cas_spans_slots else 0
+        shortcut = self.config.shortcut_fill
+        primaries = h.primary.tolist()
+        secondaries = h.secondary.tolist()
+        words = np.asarray(h.fingerprint)
+        free_offsets: dict = {}
+        next_free: dict = {}
+        reads = instr = intr = atomics = n_cas = 0
+        dest_flat = []
+        dest_row = []
+        overflowed = False
+        for i in range(len(primaries)):
+            p, s = primaries[i], secondaries[i]
+            lp = live[p]
+            # block_fill(primary): one block fetch + a strided fill count.
+            reads += lines[p]
+            instr += bs + 1
+            first, second = p, s
+            if lp / bs >= shortcut:
+                ls = live[s]
+                reads += lines[s]
+                instr += bs + 1
+                if ls < lp:
+                    first, second = s, p
+            placed = False
+            for b in (first, second):
+                # table.insert: block fetch (+ the extra atomic a sub-CAS-word
+                # slot costs), then the single-lane scan for a free slot.
+                reads += lines[b]
+                atomics += cas_extra
+                if live[b] < bs:
+                    offs = free_offsets.get(b)
+                    if offs is None:
+                        offs = np.flatnonzero(free_mask[b]).tolist()
+                        free_offsets[b] = offs
+                        next_free[b] = 0
+                    o = offs[next_free[b]]
+                    next_free[b] += 1
+                    live[b] += 1
+                    # o+1 strided steps and ballots, leader election, the
+                    # successful CAS, and the closing ballot.
+                    instr += o + 2
+                    intr += o + 3
+                    atomics += 1
+                    n_cas += 1
+                    dest_flat.append(b * bs + o)
+                    dest_row.append(i)
+                    placed = True
+                    break
+                # Full block: the scan ballots across every slot and gives up.
+                instr += bs
+                intr += bs
+            if not placed:
+                overflowed = True
+                break
+        if dest_flat:
+            data = self.table.slots.peek()
+            data[np.asarray(dest_flat, dtype=np.int64)] = words[dest_row].astype(
+                data.dtype
+            )
+        self.recorder.add(
+            cache_line_reads=reads,
+            instructions=instr,
+            warp_intrinsics=intr,
+            atomic_ops=atomics,
+            coalesced_bytes_read=32 * n_cas,
+            coalesced_bytes_written=32 * n_cas,
+        )
+        self._n_items += len(dest_flat)
+        if overflowed:
+            raise FilterFullError("VQF: both candidate blocks are full")
+
     def bulk_insert(self, keys: Sequence[int], values: Optional[Sequence[int]] = None) -> int:
         keys = np.asarray(keys, dtype=np.uint64)
+        if values is not None and np.any(np.asarray(values)):
+            raise UnsupportedOperationError("the VQF does not associate values")
         with self.kernels.launch("cpu_vqf_insert", point_launch(keys.size, 1)):
-            for key in keys:
-                self.insert(int(key))
+            if self._prefers_sequential(int(keys.size)):
+                for key in keys:
+                    self.insert(int(key))
+            elif keys.size:
+                self._bulk_insert_vectorised(keys)
         return int(keys.size)
+
+    def _bulk_query_vectorised(self, keys: np.ndarray) -> np.ndarray:
+        """Whole-batch two-block probe with per-item-calibrated events.
+
+        Each probe gathers its candidate row and finds the first matching
+        slot in one vectorised scan; the recorded events mirror the
+        single-lane group's ballot-per-slot walk with its early exit
+        (fingerprints never collide with the empty/tombstone sentinels, so a
+        word match is a live match).
+        """
+        h = self._derive_batch(keys)
+        bs = self.config.block_size
+        rows = self.table.rows()
+        lines = self._block_lines()
+        fingerprints = np.asarray(h.fingerprint)
+
+        def scan(blocks: np.ndarray, fps: np.ndarray):
+            match = rows[blocks] == fps[:, None]
+            found = match.any(axis=1)
+            steps = np.where(found, np.argmax(match, axis=1) + 2, bs)
+            return found, int(steps.sum())
+
+        found, events1 = scan(h.primary, fingerprints)
+        reads = int(lines[h.primary].sum())
+        instr = intr = events1
+        out = found.copy()
+        miss = np.flatnonzero(~found)
+        if miss.size:
+            found2, events2 = scan(h.secondary[miss], fingerprints[miss])
+            reads += int(lines[h.secondary[miss]].sum())
+            instr += events2
+            intr += events2
+            out[miss[found2]] = True
+        self.recorder.add(
+            cache_line_reads=reads, instructions=instr, warp_intrinsics=intr
+        )
+        return out
 
     def bulk_query(self, keys: Sequence[int]) -> np.ndarray:
         keys = np.asarray(keys, dtype=np.uint64)
         out = np.zeros(keys.size, dtype=bool)
         with self.kernels.launch("cpu_vqf_query", point_launch(keys.size, 1)):
-            for i, key in enumerate(keys):
-                out[i] = self.query(int(key))
+            if self._prefers_sequential(int(keys.size)):
+                for i, key in enumerate(keys):
+                    out[i] = self.query(int(key))
+            elif keys.size:
+                out = self._bulk_query_vectorised(keys)
         return out
 
     # ---------------------------------------------------------------- analysis

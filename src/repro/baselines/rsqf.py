@@ -24,7 +24,11 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..core.base import AbstractFilter, FilterCapabilities
-from ..core.exceptions import CapacityLimitError, UnsupportedOperationError
+from ..core.exceptions import (
+    CapacityLimitError,
+    FilterFullError,
+    UnsupportedOperationError,
+)
 from ..core.gqf.layout import QuotientFilterCore
 from ..gpusim.kernel import KernelContext, LaunchConfig, point_launch
 from ..gpusim.stats import StatsRecorder
@@ -142,16 +146,38 @@ class RankSelectQuotientFilter(AbstractFilter):
 
         The authors provide no parallel insert kernel, so the launch exposes
         a single worker; the performance model therefore reports the
-        ~8 M items/s ceiling the paper measures.
+        ~8 M items/s ceiling the paper measures — the serialised cost lives
+        in the launch geometry, not in Python-loop wall clock.
+
+        The batch is inserted in sorted (quotient, remainder) order — the
+        standard schedule for batch-building a quotient filter, which
+        removes the order-dependent intra-batch Robin-Hood shifting — and
+        both the vectorised merge and the small-batch per-item loop record
+        the events of that *sorted* schedule.  An arrival-order insert
+        stream would shift more; no sort pass is charged because the
+        ordering happens host-side before the serial kernel runs.
         """
         keys = np.asarray(keys, dtype=np.uint64)
         if keys.size == 0:
             return 0
         fingerprints = self.scheme.hash_key(keys)
         quotients, remainders = self.scheme.split(fingerprints)
+        # Host-side ordering only (no device sort pass is charged: the
+        # authors' serial insert kernel performs none).
+        order = np.lexsort((remainders, quotients))
+        quotients = quotients[order]
+        remainders = remainders[order]
         with self.kernels.launch(
             "rsqf_serial_insert", LaunchConfig(n_work_items=1, threads_per_item=32)
         ):
+            if not self.core.prefers_sequential(int(keys.size)):
+                try:
+                    self.core.insert_sorted_batch(quotients, remainders)
+                    return int(keys.size)
+                except FilterFullError:
+                    # All-or-nothing merge: replay per item so an over-capacity
+                    # batch still fills the table before raising.
+                    pass
             for i in range(keys.size):
                 self.core.insert_fingerprint(int(quotients[i]), int(remainders[i]), 1)
         return int(keys.size)
@@ -165,8 +191,7 @@ class RankSelectQuotientFilter(AbstractFilter):
         fingerprints = self.scheme.hash_key(keys)
         quotients, remainders = self.scheme.split(fingerprints)
         with self.kernels.launch("rsqf_bulk_query", point_launch(keys.size, 1)):
-            for i in range(keys.size):
-                out[i] = self.core.query_fingerprint(int(quotients[i]), int(remainders[i])) > 0
+            out = self.core.batch_counts(quotients, remainders) > 0
         return out
 
     # ------------------------------------------------------------------ point API

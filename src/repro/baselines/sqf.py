@@ -26,7 +26,11 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..core.base import AbstractFilter, FilterCapabilities
-from ..core.exceptions import CapacityLimitError, UnsupportedOperationError
+from ..core.exceptions import (
+    CapacityLimitError,
+    FilterFullError,
+    UnsupportedOperationError,
+)
 from ..gpusim.kernel import KernelContext, bulk_region_launch
 from ..gpusim.sorting import device_sort, device_sort_by_key
 from ..gpusim.stats import StatsRecorder
@@ -156,18 +160,32 @@ class StandardQuotientFilter(AbstractFilter):
 
     # ---------------------------------------------------------------- bulk API
     def bulk_insert(self, keys: Sequence[int], values: Optional[Sequence[int]] = None) -> int:
-        """Sorted segment-merge bulk insert (one thread per segment)."""
+        """Sorted segment-merge bulk insert (one thread per segment).
+
+        Large batches merge as one vectorised sorted batch into the shared
+        :class:`QuotientFilterCore`; batches too small to amortise the
+        whole-table decode keep the per-item loop.  Both routes produce the
+        same table and the same simulated hardware events.
+        """
         keys = np.asarray(keys, dtype=np.uint64)
         if keys.size == 0:
             return 0
         fingerprints = self.scheme.hash_key(keys)
         quotients, remainders = self.scheme.split(fingerprints)
-        sort_keys = quotients.astype(np.int64) * (1 << self.scheme.remainder_bits) + remainders.astype(np.int64)
+        sort_keys = self.scheme.join(quotients, remainders)
         _sorted, order = device_sort_by_key(sort_keys, np.arange(keys.size), self.recorder)
         quotients = quotients[order]
         remainders = remainders[order]
         n_segments = max(1, self.core.n_canonical_slots // SEGMENT_SLOTS)
         with self.kernels.launch("sqf_bulk_insert", bulk_region_launch(n_segments)):
+            if not self.core.prefers_sequential(int(keys.size)):
+                try:
+                    self.core.insert_sorted_batch(quotients, remainders)
+                    return int(keys.size)
+                except FilterFullError:
+                    # All-or-nothing merge: replay per item so an over-capacity
+                    # batch still fills the table before raising.
+                    pass
             for i in range(keys.size):
                 self.core.insert_fingerprint(int(quotients[i]), int(remainders[i]), 1)
         return int(keys.size)
@@ -184,8 +202,7 @@ class StandardQuotientFilter(AbstractFilter):
         quotients, remainders = self.scheme.split(fingerprints)
         n_segments = max(1, self.core.n_canonical_slots // SEGMENT_SLOTS)
         with self.kernels.launch("sqf_bulk_query", bulk_region_launch(n_segments)):
-            for i in range(keys.size):
-                out[i] = self.core.query_fingerprint(int(quotients[i]), int(remainders[i])) > 0
+            out = self.core.batch_counts(quotients, remainders) > 0
         return out
 
     def bulk_delete(self, keys: Sequence[int]) -> int:
@@ -197,9 +214,12 @@ class StandardQuotientFilter(AbstractFilter):
         removed = 0
         n_segments = max(1, self.core.n_canonical_slots // SEGMENT_SLOTS)
         with self.kernels.launch("sqf_bulk_delete", bulk_region_launch(n_segments)):
-            for i in range(keys.size):
-                if self.core.delete_fingerprint(int(quotients[i]), int(remainders[i]), 1):
-                    removed += 1
+            if not self.core.prefers_sequential(int(keys.size)):
+                removed = self.core.delete_sorted_batch(quotients, remainders)
+            else:
+                for i in range(keys.size):
+                    if self.core.delete_fingerprint(int(quotients[i]), int(remainders[i]), 1):
+                        removed += 1
         return removed
 
     # ------------------------------------------------------------------ point API

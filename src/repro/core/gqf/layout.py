@@ -119,6 +119,9 @@ class QuotientFilterCore:
         self.slot_used = Bitvector(self.total_slots)
         self._n_distinct = 0
         self._total_count = 0
+        #: Memoised whole-table decode (host-side); every mutation drops it,
+        #: and the batch rebuild re-seeds it from the merged item arrays.
+        self._decoded_cache: Optional[Tuple[np.ndarray, ...]] = None
 
     # ---------------------------------------------------------------- metrics
     @property
@@ -273,6 +276,7 @@ class QuotientFilterCore:
             raise ValueError("quotient out of range")
         if remainder >= (1 << self.remainder_bits):
             raise ValueError("remainder wider than remainder_bits")
+        self._decoded_cache = None
 
         was_present = False
         if self.occupieds.get(quotient):
@@ -351,6 +355,7 @@ class QuotientFilterCore:
         if not self.occupieds.get(quotient):
             self._account(metadata_lines=1)
             return False
+        self._decoded_cache = None
         run_start, run_end = self.run_interval(quotient)
         cstart, cend = self.cluster_bounds(run_start)
         cluster_len = cend - cstart + 1
@@ -523,11 +528,15 @@ class QuotientFilterCore:
         with items sorted by (quotient, remainder) and one row per distinct
         fingerprint.  Runs whose slot values are strictly increasing (no
         counter digits, no duplicates) decode vectorised; only runs that
-        embed counters fall back to the per-run Python decoder.
+        embed counters fall back to the per-run Python decoder.  The result
+        is memoised until the next mutation (callers treat it as read-only),
+        so back-to-back batch probes decode the table once.
         """
+        if self._decoded_cache is not None:
+            return self._decoded_cache
         uq, starts, _ends, lens = self._runs_layout()
         if uq.size == 0:
-            return (
+            self._decoded_cache = (
                 np.zeros(0, dtype=np.int64),
                 np.zeros(0, dtype=np.uint64),
                 np.zeros(0, dtype=np.int64),
@@ -535,6 +544,7 @@ class QuotientFilterCore:
                 starts,
                 lens,
             )
+            return self._decoded_cache
         total = int(lens.sum())
         off = np.concatenate(([0], np.cumsum(lens)))
         pos = np.repeat(starts - off[:-1], lens) + np.arange(total)
@@ -573,7 +583,8 @@ class QuotientFilterCore:
                 first = np.flatnonzero(fresh)
                 item_c = np.add.reduceat(item_c, first)
                 item_q, item_r = item_q[first], item_r[first]
-        return item_q, item_r, item_c, uq, starts, lens
+        self._decoded_cache = (item_q, item_r, item_c, uq, starts, lens)
+        return self._decoded_cache
 
     def _rebuild_from_items(
         self, item_q: np.ndarray, item_r: np.ndarray, item_c: np.ndarray
@@ -592,6 +603,14 @@ class QuotientFilterCore:
                 bv.assign_positions(empty)
             self._n_distinct = 0
             self._total_count = 0
+            self._decoded_cache = (
+                empty,
+                np.zeros(0, dtype=np.uint64),
+                empty.copy(),
+                empty.copy(),
+                empty.copy(),
+                empty.copy(),
+            )
             return empty, empty.copy(), empty.copy()
         flat, enc_lens = counters.encode_flat(
             item_r, item_c, self.counting, self.slots.data.dtype
@@ -615,6 +634,9 @@ class QuotientFilterCore:
         self.slot_used.assign_positions(pos)
         self._n_distinct = int(item_q.size)
         self._total_count = int(item_c.sum())
+        # The merged item arrays *are* the decoded table: re-seed the memo so
+        # probes following a batch mutation skip the whole-table decode.
+        self._decoded_cache = (item_q, item_r, item_c, run_q, run_starts, run_lens)
         return run_q, run_starts, run_lens
 
     def insert_sorted_batch(
@@ -664,39 +686,42 @@ class QuotientFilterCore:
             all_q[first], all_r[first], merged_c
         )
 
-        # Accounting: each input row reads its old run and writes its new
-        # run (plus two metadata vectors), as the per-item path does.  That
-        # path charges run traffic twice — an alignment-aware DeviceArray
-        # transaction plus an aligned _account charge — and records each
-        # moved slot twice (once in _shift_right_one, once in _account),
-        # folding the shift into the write/instruction charge.  Mirroring
-        # all of it makes both paths agree exactly on instructions, shifts,
-        # and — for fills into an empty table, the benchmark workload — on
-        # line traffic; merges into an already-loaded table undercount the
-        # per-item path's per-move shift transactions by ~10-15 %.
+        # Accounting: each input row reads its run as it stands *when that
+        # row inserts* — the pre-batch run plus one slot per earlier batch
+        # row with the same quotient (rank within the sorted quotient
+        # group) — and writes it one slot longer, plus two metadata vectors,
+        # exactly as the per-item path does.  That path charges run traffic
+        # twice (an alignment-aware DeviceArray transaction plus an aligned
+        # _account charge) and records each moved slot twice (once in
+        # _shift_right_one, once in _account), folding the shift into the
+        # write/instruction charge.  Mirroring all of it, with the growing
+        # per-row lengths anchored at the run's settled start position,
+        # makes both paths agree exactly — on every counter — for sorted
+        # fills whose runs never move mid-batch (fills into an empty table,
+        # the benchmark workload, with plain counts); merges into an
+        # already-loaded table undercount the per-item path's per-move shift
+        # transactions by ~10-15 %.
+        row_starts = run_starts[np.searchsorted(run_q, quotients)]
         if run_q_old.size:
             idx = np.minimum(np.searchsorted(run_q_old, quotients), run_q_old.size - 1)
             hit = run_q_old[idx] == quotients
+            old_start_rows = np.where(hit, starts_old[idx], row_starts)
             old_rows = np.where(hit, lens_old[idx], 0)
-            old_start_rows = np.where(hit, starts_old[idx], quotients)
         else:
+            old_start_rows = row_starts
             old_rows = np.zeros(m, dtype=np.int64)
-            old_start_rows = quotients
-        # A row's read is the run as it stands *when that row inserts*: the
-        # pre-batch run plus one slot per earlier batch row with the same
-        # quotient (rank within the sorted quotient group).
         group_first = np.ones(m, dtype=bool)
         group_first[1:] = quotients[1:] != quotients[:-1]
         first_idx = np.flatnonzero(group_first)
         group_rank = np.arange(m) - first_idx[np.cumsum(group_first) - 1]
         eff_old = old_rows + group_rank
+        eff_new = eff_old + 1
         old_lines = self._span_lines_vec(old_start_rows, eff_old) + self._slot_lines_vec(
             eff_old
         )
-        _new_rows, new_lines = self._run_traffic_of(
-            quotients, run_q, run_starts, run_lens
+        new_lines = self._span_lines_vec(row_starts, eff_new) + self._slot_lines_vec(
+            eff_new
         )
-        new_rows = _new_rows
         shifted = 0
         if run_q_old.size:
             disp = run_starts[np.searchsorted(run_q, run_q_old)] - starts_old
@@ -705,10 +730,7 @@ class QuotientFilterCore:
             cache_line_reads=int(old_lines.sum()) + 2 * m + self._slot_lines(shifted),
             cache_line_writes=int(new_lines.sum()) + 2 * m + self._slot_lines(shifted),
             slots_shifted=2 * shifted,
-            # The old/new sums telescope to the per-item path's growing run
-            # lengths: sum(old_i + new_i) over a k-row group equals
-            # k * final_len exactly.
-            instructions=int(4 * m + old_rows.sum() + new_rows.sum() + shifted),
+            instructions=int(4 * m + eff_old.sum() + eff_new.sum() + shifted),
         )
 
     def lookup_counts(self, quotients: np.ndarray, remainders: np.ndarray) -> np.ndarray:

@@ -116,6 +116,21 @@ def hash_with_seed(x: ArrayOrInt, seed: int) -> ArrayOrInt:
     return _maybe_scalar(_as_u64(out), scalar)
 
 
+def hash_with_seeds(x: np.ndarray, seeds) -> np.ndarray:
+    """Batched :func:`hash_with_seed`: all keys under all seeds at once.
+
+    Returns an array of shape ``(len(x), len(seeds))`` whose ``[i, j]`` entry
+    equals ``hash_with_seed(x[i], seeds[j])`` exactly — the bulk Bloom-filter
+    paths rely on that equality to stay differentially testable against the
+    per-item probes.
+    """
+    v = np.atleast_1d(_as_u64(x))
+    s = np.asarray([int(seed) & 0xFFFFFFFFFFFFFFFF for seed in seeds], dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        mixed = v[:, None] ^ ((s * _U64(0x9E3779B97F4A7C15)) & _MASK64)[None, :]
+    return splitmix64(mixed)
+
+
 def double_hash_slots(
     x: ArrayOrInt, n_slots: int, n_probes: int
 ) -> np.ndarray:

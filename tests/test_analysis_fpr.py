@@ -1,5 +1,6 @@
 """Tests for the Table 2 accuracy/space measurement harness."""
 
+import numpy as np
 import pytest
 
 from repro.analysis.fpr import (
@@ -8,7 +9,7 @@ from repro.analysis.fpr import (
     run_table2,
     table2_configurations,
 )
-from repro.core.tcf import PointTCF
+from repro.core.tcf import BULK_TCF_DEFAULT, BulkTCF, PointTCF
 from repro.gpusim.stats import StatsRecorder
 
 
@@ -27,6 +28,20 @@ class TestMeasureAccuracy:
         result = measure_accuracy(filt, 500, n_negative=500)
         row = result.as_row()
         assert set(row) == {"filter", "fp_rate_percent", "bits_per_item", "design_fp_percent"}
+
+    def test_partial_bulk_fill_counts_inserted_items(self):
+        """Regression: a bulk fill that hits FilterFullError used to report
+        0 inserted items — negatives were then drawn disjoint from an empty
+        prefix (counting true positives as false positives) and bits per
+        item divided by ``max(1, 0)``."""
+        filt = BulkTCF.for_capacity(400, BULK_TCF_DEFAULT, StatsRecorder())
+        result = measure_accuracy(filt, 4000, n_negative=4000, bulk=True)
+        assert result.n_items > 300  # the batch filled the table first
+        assert result.false_positive_rate < 0.5
+        assert np.isfinite(result.bits_per_item)
+        assert result.bits_per_item == pytest.approx(
+            8.0 * filt.nbytes / result.n_items
+        )
 
 
 class TestTable2:
