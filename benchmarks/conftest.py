@@ -22,9 +22,10 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 #: Simulation scale (log2 slots) used by the benchmarks.  Small enough that
 #: the whole suite runs in a few minutes, large enough that per-operation
 #: event counts are stable.  With both bulk filters vectorised (GQF in PR 1,
-#: TCF in PR 2) and all six baselines vectorised (PR 3) no filling phase
-#: caps the scale anymore, so the sampled table size doubles again.
-BENCH_SIM_LG = 14
+#: TCF in PR 2), all six baselines vectorised (PR 3) and the point APIs +
+#: applications vectorised (PR 4) no per-item loop caps the scale anymore,
+#: so the sampled table size doubles again.
+BENCH_SIM_LG = 15
 #: Queries simulated per phase.
 BENCH_QUERIES = 1024
 

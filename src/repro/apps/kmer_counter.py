@@ -22,6 +22,7 @@ import numpy as np
 
 from ..core.gqf import BulkGQF
 from ..core.tcf import PointTCF
+from ..gpusim.sorting import group_ranks, run_first_mask
 from ..gpusim.stats import StatsRecorder
 from ..workloads import kmer as kmer_mod
 
@@ -102,17 +103,7 @@ class GPUKmerCounter:
         self._n_reads += int(n_reads)
         self._n_kmers += int(kmers.size)
         if self.exclude_singletons and self.tcf is not None:
-            promoted = []
-            for kmer in kmers:
-                kmer = int(kmer)
-                if self.gqf.count(kmer) > 0:
-                    promoted.append(kmer)
-                elif self.tcf.query(kmer):
-                    promoted.extend([kmer, kmer])
-                else:
-                    self.tcf.insert(kmer)
-            if promoted:
-                self.gqf.bulk_insert(np.array(promoted, dtype=np.uint64))
+            self._promote_batch(kmers)
         else:
             self.gqf.bulk_insert(kmers)
         distinct, counts = kmer_mod.kmer_spectrum(kmers)
@@ -123,6 +114,44 @@ class GPUKmerCounter:
             n_singletons=int(np.count_nonzero(counts == 1)),
             filter_load_factor=self.gqf.load_factor,
         )
+
+    def _promote_batch(self, kmers: np.ndarray) -> None:
+        """Batched two-pass TCF promotion (the per-item loop, vectorised).
+
+        The sequential loop checks each occurrence against the GQF (whose
+        counts only change *after* the whole batch, when the promoted
+        multiset is bulk-inserted) and then against the TCF (which changes
+        *during* the batch as first occurrences are inserted).  The batched
+        equivalent therefore resolves the GQF membership and the pre-batch
+        TCF membership with whole-batch lookups and reconstructs the
+        intra-batch ordering effects positionally: occurrences of one k-mer
+        are ranked by a stable sort, the first occurrence of a TCF-new k-mer
+        inserts (and promotes nothing), and every other unknown occurrence
+        promotes two copies — exactly the multiset the per-item loop builds.
+        """
+        known = self.gqf.bulk_count(kmers) > 0
+        promote = np.zeros(kmers.size, dtype=np.int64)
+        promote[known] = 1
+        unknown = kmers[~known]
+        if unknown.size:
+            order = np.argsort(unknown, kind="stable")
+            grouped = unknown[order]
+            occ_rank = np.empty(unknown.size, dtype=np.int64)
+            occ_rank[order] = group_ranks(grouped)
+            firsts = run_first_mask(grouped)
+            distinct = grouped[firsts]
+            in_tcf = self.tcf.bulk_query(distinct)
+            in_tcf_occ = np.empty(unknown.size, dtype=bool)
+            in_tcf_occ[order] = in_tcf[np.cumsum(firsts) - 1]
+            # Pre-known in the TCF: every occurrence promotes two copies.
+            # TCF-new: the first occurrence inserts, the rest promote two.
+            promote[~known] = np.where(in_tcf_occ | (occ_rank > 0), 2, 0)
+            to_insert = distinct[~in_tcf]
+            if to_insert.size:
+                self.tcf.bulk_insert(to_insert)
+        promoting = promote > 0
+        if promoting.any():
+            self.gqf.bulk_insert(kmers[promoting], values=promote[promoting])
 
     # ------------------------------------------------------------------- queries
     def count(self, kmer: int) -> int:

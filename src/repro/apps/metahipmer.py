@@ -161,11 +161,61 @@ class KmerAnalysisPhase:
                 # Degrade gracefully: promote immediately rather than drop.
                 self.hash_table.add(kmer)
 
+    def process_kmers(self, kmers: np.ndarray) -> None:
+        """Process a batch of k-mer occurrences (the per-item loop, batched).
+
+        Replays :meth:`process_kmer`'s sequential semantics with whole-batch
+        operations.  Within one batch the hash table changes as k-mers are
+        promoted, so a k-mer's occurrences resolve positionally: for a k-mer
+        already in the hash table all ``m`` occurrences increment it (+m);
+        for a k-mer already in the TCF the first occurrence promotes with
+        count 2 and the rest increment (+m+1); for a new k-mer the first
+        occurrence inserts into the TCF and the remainder promote-then-
+        increment (+m when m >= 2, nothing for singletons).  K-mers the TCF
+        cannot hold degrade gracefully to direct counting (+m), exactly as
+        the per-item loop's ``FilterFullError`` handler does.
+        """
+        kmers = np.asarray(kmers, dtype=np.uint64)
+        if kmers.size == 0:
+            return
+        if not self.use_tcf or self.tcf is None:
+            distinct, counts = np.unique(kmers, return_counts=True)
+            for kmer, count in zip(distinct.tolist(), counts.tolist()):
+                self.hash_table.add(kmer, count)
+            return
+        distinct, counts = np.unique(kmers, return_counts=True)
+        table = self.hash_table.counts
+        known = np.fromiter(
+            (int(kmer) in table for kmer in distinct.tolist()), bool, distinct.size
+        )
+        unknown = distinct[~known]
+        in_tcf = (
+            self.tcf.bulk_query(unknown)
+            if unknown.size
+            else np.zeros(0, dtype=bool)
+        )
+        new = unknown[~in_tcf]
+        placed = (
+            self.tcf.bulk_insert_mask(new) if new.size else np.zeros(0, dtype=bool)
+        )
+        additions = np.zeros(distinct.size, dtype=np.int64)
+        additions[known] = counts[known]
+        unknown_add = np.where(in_tcf, counts[~known] + 1, 0)
+        # TCF-new k-mers: singletons stay out of the table, multi-occurrence
+        # k-mers promote to their full count; unplaceable k-mers (TCF full)
+        # count every occurrence directly.
+        new_counts = counts[~known][~in_tcf]
+        unknown_add[~in_tcf] = np.where(
+            placed, np.where(new_counts >= 2, new_counts, 0), new_counts
+        )
+        additions[~known] = unknown_add
+        adding = additions > 0
+        for kmer, count in zip(distinct[adding].tolist(), additions[adding].tolist()):
+            self.hash_table.add(kmer, count)
+
     def process_read_set(self, read_set: kmer_mod.ReadSet) -> None:
         """Extract and process every canonical k-mer of a read set."""
-        kmers = kmer_mod.extract_kmers(read_set, self.k)
-        for kmer in kmers:
-            self.process_kmer(int(kmer))
+        self.process_kmers(kmer_mod.extract_kmers(read_set, self.k))
 
     # ------------------------------------------------------------------ results
     def memory_report(self) -> Dict[str, int]:

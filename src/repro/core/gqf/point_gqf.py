@@ -185,7 +185,11 @@ class PointGQF(AbstractFilter):
 
     def _insert_count(self, key: int, count: int) -> bool:
         quotient, remainder = self.scheme.key_to_slot(np.uint64(int(key) & 0xFFFFFFFFFFFFFFFF))
-        quotient, remainder = int(quotient), int(remainder)
+        self._locked_insert(int(quotient), int(remainder), count)
+        return True
+
+    def _locked_insert(self, quotient: int, remainder: int, count: int) -> None:
+        """One point insert under the pair of region locks."""
         lock_a, lock_b = self.partition.locks_for_insert(quotient)
         self.locks.lock(lock_a)
         if lock_b != lock_a:
@@ -196,7 +200,6 @@ class PointGQF(AbstractFilter):
             if lock_b != lock_a:
                 self.locks.unlock(lock_b)
             self.locks.unlock(lock_a)
-        return True
 
     def query(self, key: int) -> bool:
         return self.count(key) > 0
@@ -225,17 +228,76 @@ class PointGQF(AbstractFilter):
             self.locks.unlock(lock_a)
 
     # ---------------------------------------------------------------- bulk API
+    def _processing_order(self, quotients: np.ndarray, remainders: np.ndarray) -> np.ndarray:
+        """The order in which the simulated schedule serialises point threads.
+
+        A point kernel launches one thread per item and the hardware
+        interleaves them arbitrarily; the simulator picks the fingerprint-
+        sorted interleaving because it is the one the canonical-layout merge
+        can replay with whole-array operations (and, per region, it is the
+        shift-free schedule the paper's analysis assumes).  The host-side
+        argsort is simulator bookkeeping, not a device sort — no traffic is
+        charged for it.  Exposed so the differential tests can drive the
+        per-item reference through the identical schedule.
+        """
+        return np.argsort(self.scheme.join(quotients, remainders), kind="stable")
+
+    def _charge_point_locks(self, quotients: np.ndarray) -> None:
+        """Replay the per-item region-lock traffic for a whole batch.
+
+        Each item acquires the lock of its canonical region and (unless it
+        sits in the last region) the next region's lock, then releases both.
+        Failure counts come from the same generator stream, consumed in the
+        same order, as per-item locking (see
+        :meth:`~repro.gpusim.atomics.SpinLockTable.lock_unlock_batch`), so
+        the lock counters match the sequential loop exactly at every
+        ``set_concurrency`` level.
+        """
+        regions = self.partition.regions_of(quotients)
+        n_calls = int(quotients.size) + int(
+            np.count_nonzero(regions < self.partition.n_regions - 1)
+        )
+        self.locks.lock_unlock_batch(n_calls)
+
     def bulk_insert(self, keys: Sequence[int], values: Optional[Sequence[int]] = None) -> int:
-        """Point-style batched insert (one cooperative thread per item)."""
+        """Point-style batched insert (one cooperative thread per item).
+
+        Batches big enough to amortise the whole-table decode are replayed as
+        one canonical merge (state identical to the per-item loop; events
+        calibrated per input row, exact for fills of distinct fingerprints)
+        plus a batched region-lock replay; small batches keep the per-item
+        loop.  ``values`` are interpreted as per-key counts, as in the
+        per-item :meth:`insert`.
+        """
         keys = np.asarray(keys, dtype=np.uint64)
         if values is None:
-            values = np.zeros(keys.size, dtype=np.uint64)
-        inserted = 0
+            counts = np.ones(keys.size, dtype=np.int64)
+        else:
+            counts = np.maximum(1, np.asarray(values, dtype=np.int64))
         with self.kernels.launch("gqf_point_bulk_insert", point_launch(keys.size, 1)):
-            for key, value in zip(keys, values):
-                if self.insert(int(key), int(value)):
-                    inserted += 1
-        return inserted
+            if keys.size and not self.core.prefers_sequential(int(keys.size)):
+                self._bulk_insert_vectorised(keys, counts)
+            else:
+                for key, count in zip(keys, counts):
+                    self._insert_count(int(key), int(count))
+        return int(keys.size)
+
+    def _bulk_insert_vectorised(self, keys: np.ndarray, counts: np.ndarray) -> None:
+        quotients, remainders = self.scheme.key_to_slot(keys)
+        quotients = np.asarray(quotients, dtype=np.int64)
+        remainders = np.asarray(remainders, dtype=np.uint64)
+        order = self._processing_order(quotients, remainders)
+        sq, sr, sc = quotients[order], remainders[order], counts[order]
+        try:
+            self.core.insert_sorted_batch(sq, sr, sc)
+        except FilterFullError:
+            # The merge is all-or-nothing; replay the schedule per item so an
+            # over-capacity batch still fills the table before raising (the
+            # benchmark fill loops catch the error and measure at capacity).
+            for i in range(sq.size):
+                self._locked_insert(int(sq[i]), int(sr[i]), int(sc[i]))
+            raise  # pragma: no cover - the replay above must raise first
+        self._charge_point_locks(sq)
 
     def bulk_query(self, keys: Sequence[int]) -> np.ndarray:
         keys = np.asarray(keys, dtype=np.uint64)
@@ -254,12 +316,28 @@ class PointGQF(AbstractFilter):
         return counts
 
     def bulk_delete(self, keys: Sequence[int]) -> int:
+        """Point-style batched delete.
+
+        Large batches run the vectorised cluster re-canonicalisation (state
+        and removal counts identical to per-item deletes; cluster traffic
+        carries the calibrated approximation documented on
+        :meth:`QuotientFilterCore.delete_sorted_batch`) plus the exact
+        batched region-lock replay; small batches keep the per-item loop.
+        """
         keys = np.asarray(keys, dtype=np.uint64)
         removed = 0
         with self.kernels.launch("gqf_point_bulk_delete", point_launch(keys.size, 1)):
-            for key in keys:
-                if self.delete(int(key)):
-                    removed += 1
+            if keys.size and not self.core.prefers_sequential(int(keys.size)):
+                quotients, remainders = self.scheme.key_to_slot(keys)
+                quotients = np.asarray(quotients, dtype=np.int64)
+                removed = self.core.delete_sorted_batch(
+                    quotients, np.asarray(remainders, dtype=np.uint64)
+                )
+                self._charge_point_locks(quotients)
+            else:
+                for key in keys:
+                    if self.delete(int(key)):
+                        removed += 1
         return removed
 
     # ------------------------------------------------------------------ resize

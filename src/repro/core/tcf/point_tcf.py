@@ -34,7 +34,13 @@ from ..base import AbstractFilter, FilterCapabilities
 from ..exceptions import FilterFullError, UnsupportedOperationError
 from .backing import BackingTable
 from .block import BlockedTable
-from .config import POINT_TCF_DEFAULT, TCFConfig
+from .config import EMPTY_SLOT, POINT_TCF_DEFAULT, TOMBSTONE_SLOT, TCFConfig
+
+#: Batches at or below this size route through the per-item loop — the same
+#: crossover the bulk TCF (``TCF_SEQUENTIAL_BATCH_MAX``) and the baselines
+#: (:mod:`repro.baselines._batching`) use.  The per-item route doubles as the
+#: differential-testing reference for the batched replay.
+POINT_SEQUENTIAL_BATCH_MAX = 32
 
 
 class PointTCF(AbstractFilter):
@@ -71,6 +77,7 @@ class PointTCF(AbstractFilter):
         self.backing = BackingTable(n_backing_buckets, config, self.recorder)
         self._n_items = 0
         self.kernels = KernelContext(self.recorder)
+        self._block_lines_cache: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------ constructors
     @classmethod
@@ -233,23 +240,225 @@ class PointTCF(AbstractFilter):
         raise UnsupportedOperationError("the TCF does not support counting")
 
     # ---------------------------------------------------------------- bulk API
+    # The batched point paths below replay the per-item decision stream over
+    # plain integer state (the pattern established for the CPU VQF baseline):
+    # two-choice routing is inherently sequential — every insert changes the
+    # fills the next decision reads — so a compressed Python loop walks the
+    # batch over integer block fills and lazily materialised free-slot /
+    # match-offset lists, while slot placement and all simulated hardware
+    # events are applied as whole-array operations.  Placements and deletions
+    # consume each block's candidate slots in scan order, exactly as the
+    # cooperative group's stride-and-ballot walk does, so table state *and*
+    # events match the per-item loop bit for bit (``tests/
+    # test_point_vectorized.py`` pins this).  Spills and misses route through
+    # the already-calibrated BackingTable bulk primitives, in batch order.
+
+    def _prefers_sequential(self, batch_size: int) -> bool:
+        return batch_size <= POINT_SEQUENTIAL_BATCH_MAX
+
+    def _derive_batch(self, keys: np.ndarray) -> potc.PotcHash:
+        return potc.derive(
+            keys.astype(np.uint64),
+            self.table.n_blocks,
+            self.config.fingerprint_bits,
+        )
+
+    def _pack_words(self, fingerprints: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Pack (fingerprint, value) pairs into slot words (slot dtype)."""
+        vb = self.config.value_bits
+        words = (
+            (fingerprints.astype(np.uint64) << np.uint64(vb))
+            | (values & np.uint64((1 << vb) - 1))
+            if vb
+            else fingerprints.astype(np.uint64)
+        )
+        return words.astype(self.config.slot_dtype)
+
+    def _block_lines(self) -> np.ndarray:
+        """Cache lines spanned by each block's slot row (alignment-aware)."""
+        if self._block_lines_cache is None:
+            bs = self.config.block_size
+            starts = np.arange(self.table.n_blocks, dtype=np.int64) * bs
+            per_line = self.table.slots.slots_per_line
+            self._block_lines_cache = (starts + bs - 1) // per_line - starts // per_line + 1
+        return self._block_lines_cache
+
+    def _scan_geometry(self) -> tuple:
+        """``(block_size, cg_size, n_strides, tail_divergent)`` of a block scan."""
+        bs, g = self.config.block_size, self.config.cg_size
+        return bs, g, -(-bs // g), 1 if bs % g else 0
+
     def bulk_insert(self, keys: Sequence[int], values: Optional[Sequence[int]] = None) -> int:
         """Point-style bulk insert: one cooperative group per item.
 
         (The genuinely different sorted bulk algorithm lives in
-        :class:`~repro.core.tcf.bulk_tcf.BulkTCF`.)
+        :class:`~repro.core.tcf.bulk_tcf.BulkTCF`.)  Raises
+        :class:`FilterFullError` when any key cannot be placed; unlike the
+        per-item loop — which stops at the first failing item — the batched
+        path finishes placing every placeable key before raising, so the
+        table is at least as full as the sequential loop would leave it.
         """
         keys = np.asarray(keys, dtype=np.uint64)
         if values is None:
             values = np.zeros(len(keys), dtype=np.uint64)
+        values = np.asarray(values, dtype=np.uint64)
         inserted = 0
         with self.kernels.launch(
             "tcf_point_bulk_insert", point_launch(len(keys), self.config.cg_size)
         ):
-            for key, value in zip(keys, values):
-                if self.insert(int(key), int(value)):
-                    inserted += 1
+            if self._prefers_sequential(int(keys.size)):
+                for key, value in zip(keys, values):
+                    if self.insert(int(key), int(value)):
+                        inserted += 1
+            elif keys.size:
+                placed = self._bulk_insert_vectorised(keys, values)
+                inserted = int(placed.sum())
+                if not placed.all():
+                    raise FilterFullError(
+                        f"TCF full at load factor {self.load_factor:.3f}: both "
+                        "blocks and the backing table rejected the insert"
+                    )
         return inserted
+
+    def bulk_insert_mask(
+        self, keys: Sequence[int], values: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """Graceful batched insert: a per-key success mask instead of raising.
+
+        The degrade-gracefully entry point applications such as the
+        MetaHipMer k-mer phase use: keys that neither block nor the backing
+        table can hold come back False and the filter stays consistent.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        if values is None:
+            values = np.zeros(len(keys), dtype=np.uint64)
+        values = np.asarray(values, dtype=np.uint64)
+        placed = np.zeros(len(keys), dtype=bool)
+        with self.kernels.launch(
+            "tcf_point_bulk_insert", point_launch(len(keys), self.config.cg_size)
+        ):
+            if self._prefers_sequential(int(keys.size)):
+                for i, (key, value) in enumerate(zip(keys, values)):
+                    try:
+                        placed[i] = self.insert(int(key), int(value))
+                    except FilterFullError:
+                        placed[i] = False
+            elif keys.size:
+                placed = self._bulk_insert_vectorised(keys, values)
+        return placed
+
+    def _bulk_insert_vectorised(self, keys: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Batched two-choice insert replaying the per-item decision stream.
+
+        Returns the per-key placement mask (False only when the backing
+        table also rejected the key).
+        """
+        h = self._derive_batch(keys)
+        bs, g, n_strides, tail_div = self._scan_geometry()
+        rows = self.table.rows()
+        free_rows = (rows == EMPTY_SLOT) | (rows == TOMBSTONE_SLOT)
+        live = (bs - free_rows.sum(axis=1)).astype(np.int64).tolist()
+        lines = self._block_lines().tolist()
+        words = self._pack_words(np.asarray(h.fingerprint), values)
+        cas_extra = 1 if self.config.cas_spans_slots else 0
+        shortcut_fill = self.config.shortcut_fill
+        fill_instr = bs // max(1, g) + 1  # block_fill's strided count
+        primaries = h.primary.tolist()
+        secondaries = h.secondary.tolist()
+        free_offsets: dict = {}
+        next_free: dict = {}
+        reads = instr = intr = div = atomics = n_cas = 0
+        dest_flat = []
+        dest_row = []
+        spill_rows = []
+        for i in range(len(primaries)):
+            p, s = primaries[i], secondaries[i]
+            lp = live[p]
+            # load_block(primary) + block_fill.
+            reads += lines[p]
+            instr += fill_instr
+            first, second = p, s
+            if lp / bs >= shortcut_fill:
+                ls = live[s]
+                reads += lines[s]
+                instr += fill_instr
+                if ls < lp:
+                    first, second = s, p
+                candidates = (first, second)
+            else:
+                # Shortcut: the secondary block is never read, and the
+                # primary has a free slot by definition of the threshold.
+                candidates = (first,)
+            placed = False
+            for b in candidates:
+                atomics += cas_extra
+                if live[b] < bs:
+                    offs = free_offsets.get(b)
+                    if offs is None:
+                        offs = np.flatnonzero(free_rows[b]).tolist()
+                        free_offsets[b] = offs
+                        next_free[b] = 0
+                    o = offs[next_free[b]]
+                    next_free[b] += 1
+                    live[b] += 1
+                    # Strides and ballots up to the free slot, leader
+                    # election, the successful CAS, and the closing ballot.
+                    strides = o // g + 1
+                    instr += strides * g + 1
+                    intr += strides + 2
+                    if tail_div and strides == n_strides:
+                        div += 1
+                    atomics += 1
+                    n_cas += 1
+                    dest_flat.append(b * bs + o)
+                    dest_row.append(i)
+                    placed = True
+                    break
+                # Full block: the scan ballots every stride and gives up.
+                instr += n_strides * g
+                intr += n_strides
+                div += tail_div
+            if not placed:
+                spill_rows.append(i)
+        if dest_flat:
+            self.table.slots.peek()[np.asarray(dest_flat, dtype=np.int64)] = words[dest_row]
+        self.recorder.add(
+            cache_line_reads=reads,
+            instructions=instr,
+            warp_intrinsics=intr,
+            divergent_branches=div,
+            atomic_ops=atomics,
+            coalesced_bytes_read=32 * n_cas,
+            coalesced_bytes_written=32 * n_cas,
+        )
+        self._n_items += len(dest_flat)
+        placed_mask = np.ones(len(primaries), dtype=bool)
+        if spill_rows:
+            spill_idx = np.asarray(spill_rows, dtype=np.int64)
+            spilled = self.backing.bulk_insert(keys[spill_idx], values[spill_idx])
+            self._n_items += int(spilled.sum())
+            placed_mask[spill_idx[~spilled]] = False
+        return placed_mask
+
+    def _scan_events(self, match: np.ndarray) -> tuple:
+        """Per-key cooperative-scan events for a batch of block probes.
+
+        ``match`` is the ``(n, block_size)`` vote mask of one scan each; the
+        returned ``(found, instructions, intrinsics, divergences)`` mirror
+        the stride-and-ballot walk: a hit stops at its stride (plus the
+        leader election), a miss ballots every stride and pays the divergent
+        tail stride when the block size is not a multiple of the group.
+        """
+        _bs, g, n_strides, tail_div = self._scan_geometry()
+        found = match.any(axis=1)
+        strides = np.argmax(match, axis=1) // g + 1
+        instr = np.where(found, strides * g + 1, n_strides * g)
+        intr = np.where(found, strides + 1, n_strides)
+        if tail_div:
+            divergent = np.count_nonzero(~found | (strides == n_strides))
+        else:
+            divergent = 0
+        return found, int(instr.sum()), int(intr.sum()), int(divergent)
 
     def bulk_query(self, keys: Sequence[int]) -> np.ndarray:
         keys = np.asarray(keys, dtype=np.uint64)
@@ -257,8 +466,56 @@ class PointTCF(AbstractFilter):
         with self.kernels.launch(
             "tcf_point_bulk_query", point_launch(len(keys), self.config.cg_size)
         ):
-            for i, key in enumerate(keys):
-                out[i] = self.query(int(key))
+            if self._prefers_sequential(int(keys.size)):
+                for i, key in enumerate(keys):
+                    out[i] = self.query(int(key))
+            elif keys.size:
+                out = self._bulk_query_vectorised(keys)
+        return out
+
+    def _bulk_query_vectorised(self, keys: np.ndarray) -> np.ndarray:
+        """Whole-batch two-block probe with per-item-calibrated events.
+
+        Fingerprints never collide with the empty/tombstone sentinels (the
+        hash reserves and displaces them), so a word-level fingerprint match
+        is always a live match — the liveness votes of the per-item scan are
+        implied.  Keys missing both blocks fall through to the backing
+        table's batched lookup, in batch order.
+        """
+        h = self._derive_batch(keys)
+        rows = self.table.rows()
+        lines = self._block_lines()
+        vb = self.config.value_bits
+        fps = np.asarray(h.fingerprint).astype(rows.dtype)
+
+        def match_rows(blocks: np.ndarray, fp: np.ndarray) -> np.ndarray:
+            gathered = rows[blocks]
+            words = (gathered >> vb) if vb else gathered
+            return words == fp[:, None]
+
+        found, instr, intr, div = self._scan_events(match_rows(h.primary, fps))
+        reads = int(lines[h.primary].sum())
+        out = found.copy()
+        miss = np.flatnonzero(~found)
+        if miss.size:
+            found2, i2, t2, d2 = self._scan_events(
+                match_rows(h.secondary[miss], fps[miss])
+            )
+            reads += int(lines[h.secondary[miss]].sum())
+            instr += i2
+            intr += t2
+            div += d2
+            out[miss[found2]] = True
+        self.recorder.add(
+            cache_line_reads=reads,
+            instructions=instr,
+            warp_intrinsics=intr,
+            divergent_branches=div,
+        )
+        still = np.flatnonzero(~out)
+        if still.size:
+            backing_found, _values = self.backing.bulk_query_values(keys[still])
+            out[still] = backing_found
         return out
 
     def bulk_delete(self, keys: Sequence[int]) -> int:
@@ -267,10 +524,100 @@ class PointTCF(AbstractFilter):
         with self.kernels.launch(
             "tcf_point_bulk_delete", point_launch(len(keys), self.config.cg_size)
         ):
-            for key in keys:
-                if self.delete(int(key)):
-                    removed += 1
+            if self._prefers_sequential(int(keys.size)):
+                for key in keys:
+                    if self.delete(int(key)):
+                        removed += 1
+            elif keys.size:
+                removed = self._bulk_delete_vectorised(keys)
         return removed
+
+    def _bulk_delete_vectorised(self, keys: np.ndarray) -> int:
+        """Batched tombstoning replaying the per-item claim order.
+
+        Requests against the same ``(block, fingerprint)`` — duplicate keys,
+        or distinct keys aliasing to one fingerprint — consume the stored
+        copies positionally in slot-scan order, exactly as sequential
+        deletes do; a request that exhausts the primary block's copies falls
+        through to the secondary, then to the backing table.
+        """
+        h = self._derive_batch(keys)
+        bs, g, n_strides, tail_div = self._scan_geometry()
+        rows = self.table.rows()
+        lines = self._block_lines().tolist()
+        vb = self.config.value_bits
+        fps = np.asarray(h.fingerprint).astype(rows.dtype)
+        # Per-request live-match bitmask of each candidate block (bit k set
+        # when slot k holds the fingerprint); blocks fit a cache line, so at
+        # most 64 slots and the mask fits one uint64.  Fingerprints never
+        # equal the empty/tombstone sentinels, so a word match is live.
+        weights = np.uint64(1) << np.arange(bs, dtype=np.uint64)
+
+        def match_bits(blocks: np.ndarray) -> list:
+            gathered = rows[blocks]
+            words = (gathered >> vb) if vb else gathered
+            return ((words == fps[:, None]) * weights).sum(axis=1).tolist()
+
+        bits_primary = match_bits(h.primary)
+        bits_secondary = match_bits(h.secondary)
+        primaries = h.primary.tolist()
+        secondaries = h.secondary.tolist()
+        fp_list = fps.tolist()
+        claim_bits: dict = {}
+        removed = np.zeros(len(primaries), dtype=bool)
+        tomb_flat = []
+        backing_rows = []
+        reads = instr = intr = div = atomics = n_cas = 0
+        for i in range(len(primaries)):
+            fp = fp_list[i]
+            found = False
+            for b, fresh in ((primaries[i], bits_primary), (secondaries[i], bits_secondary)):
+                reads += lines[b]
+                key = (b, fp)
+                bits = claim_bits.get(key)
+                if bits is None:
+                    bits = fresh[i]
+                if bits:
+                    low = bits & -bits
+                    claim_bits[key] = bits ^ low
+                    o = low.bit_length() - 1
+                    strides = o // g + 1
+                    instr += strides * g + 1
+                    intr += strides + 1
+                    if tail_div and strides == n_strides:
+                        div += 1
+                    atomics += 1
+                    n_cas += 1
+                    tomb_flat.append(b * bs + o)
+                    removed[i] = True
+                    found = True
+                    break
+                claim_bits[key] = 0
+                instr += n_strides * g
+                intr += n_strides
+                div += tail_div
+            if not found:
+                backing_rows.append(i)
+        if tomb_flat:
+            self.table.slots.peek()[np.asarray(tomb_flat, dtype=np.int64)] = (
+                self.config.slot_dtype.type(TOMBSTONE_SLOT)
+            )
+        self.recorder.add(
+            cache_line_reads=reads,
+            instructions=instr,
+            warp_intrinsics=intr,
+            divergent_branches=div,
+            atomic_ops=atomics,
+            coalesced_bytes_read=32 * n_cas,
+            coalesced_bytes_written=32 * n_cas,
+        )
+        self._n_items -= len(tomb_flat)
+        if backing_rows:
+            backing_idx = np.asarray(backing_rows, dtype=np.int64)
+            backing_removed = self.backing.bulk_delete(keys[backing_idx])
+            removed[backing_idx] = backing_removed
+            self._n_items -= int(backing_removed.sum())
+        return int(removed.sum())
 
     # ---------------------------------------------------------------- analysis
     def block_fills(self) -> np.ndarray:

@@ -22,6 +22,13 @@ import numpy as np
 
 from .memory import DeviceArray
 
+#: Maximum failed attempts one lock acquisition can accumulate before the
+#: simulated thread wins anyway (bounds the geometric contention draw).
+LOCK_THRASH_CAP = 64
+#: Ceiling on the per-attempt conflict probability (keeps the geometric
+#: contention draw finite even for degenerate configurations).
+MAX_CONTENTION_PROBABILITY = 0.999
+
 
 def atomic_cas(array: DeviceArray, index: int, expected, desired) -> tuple[bool, int]:
     """Compare-and-swap on ``array[index]``.
@@ -155,11 +162,79 @@ class SpinLockTable:
         failures = 0
         if self.contention_probability > 0.0:
             # Geometric number of failures with probability p of conflicting.
-            p = min(0.999, self.contention_probability)
+            p = min(MAX_CONTENTION_PROBABILITY, self.contention_probability)
             while self._rng.random() < p:
                 failures += 1
-                if failures >= 64:
+                if failures >= LOCK_THRASH_CAP:
                     break
+        return failures
+
+    def contention_failures_batch(self, n_calls: int) -> int:
+        """Total thrash attempts for ``n_calls`` back-to-back :meth:`lock` calls.
+
+        Consumes the generator stream *exactly* as ``n_calls`` sequential
+        :meth:`_simulate_contention` calls would (NumPy generators produce the
+        identical value sequence whether drawn one at a time or as a chunk),
+        so a batched replay records the same failure total and leaves the
+        generator in the same state as per-item locking.  Each chunk of draws
+        is parsed into per-call segments: a draw >= p ends the call it belongs
+        to, and a run of ``LOCK_THRASH_CAP`` consecutive failing draws ends a
+        call at the thrash cap.  A chunk of ``remaining`` draws can complete
+        at most ``remaining`` calls and never consumes a draw past the last
+        needed call, so the stream position always matches the sequential
+        loop.
+        """
+        p = min(MAX_CONTENTION_PROBABILITY, self.contention_probability)
+        if p <= 0.0 or n_calls <= 0:
+            return 0
+        cap = LOCK_THRASH_CAP
+        total = 0
+        remaining = int(n_calls)
+        carry = 0  # failures already drawn for the call in progress
+        while remaining > 0:
+            draws = self._rng.random(remaining)
+            fails = draws < p
+            total += int(np.count_nonzero(fails))
+            successes = np.flatnonzero(~fails)
+            if successes.size == 0:
+                completed = (carry + fails.size) // cap
+                carry = (carry + fails.size) % cap
+            else:
+                # Failing-run length before each success (first run resumes
+                # the carried-over call), plus the trailing failing run.
+                gaps = np.diff(np.concatenate(([-1], successes))) - 1
+                gaps[0] += carry
+                tail = fails.size - int(successes[-1]) - 1
+                completed = int((gaps // cap).sum()) + successes.size + tail // cap
+                carry = tail % cap
+            remaining -= completed
+        return total
+
+    def lock_unlock_batch(self, n_calls: int) -> int:
+        """Charge the events of ``n_calls`` lock+unlock pairs in one replay.
+
+        The batched point paths hold each region lock only across one item's
+        operation, so the final lock-table state (everything released) equals
+        the initial state and only the events need recording: per call, the
+        contention stream (identical generator consumption to sequential
+        :meth:`lock` calls), one atomic to acquire, one to release, and the
+        acquisition count.  Returns the simulated thrash total.
+        """
+        if n_calls <= 0:
+            return 0
+        failures = self.contention_failures_batch(n_calls)
+        if failures:
+            self.recorder.add(
+                lock_failures=failures,
+                atomic_ops=failures,
+                cache_line_reads=failures,
+            )
+        self.recorder.add(
+            atomic_ops=2 * n_calls,
+            coalesced_bytes_read=32 * 2 * n_calls,
+            coalesced_bytes_written=32 * 2 * n_calls,
+            lock_acquisitions=n_calls,
+        )
         return failures
 
     def lock(self, lock_id: int) -> int:

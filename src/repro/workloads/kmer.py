@@ -30,6 +30,14 @@ _BASE_TO_CODE = {"A": 0, "C": 1, "G": 2, "T": 3}
 _CODE_TO_BASE = np.array(list("ACGT"))
 #: Complement of each 2-bit base code (A<->T, C<->G).
 _COMPLEMENT_CODE = np.array([3, 2, 1, 0], dtype=np.uint8)
+#: 256-entry byte -> 2-bit-code lookup table (case-insensitive); 255 marks an
+#: invalid base.  The vectorised :func:`sequence_to_codes` maps whole strings
+#: through this table instead of one dict lookup per base.
+_INVALID_CODE = np.uint8(255)
+_BYTE_TO_CODE = np.full(256, _INVALID_CODE, dtype=np.uint8)
+for _base, _code in _BASE_TO_CODE.items():
+    _BYTE_TO_CODE[ord(_base)] = _code
+    _BYTE_TO_CODE[ord(_base.lower())] = _code
 
 
 @dataclass
@@ -103,16 +111,44 @@ def generate_reads(
 
 
 def sequence_to_codes(sequence: str) -> np.ndarray:
-    """Convert an ACGT string to 2-bit base codes."""
+    """Convert an ACGT string (case-insensitive) to 2-bit base codes.
+
+    One whole-string table lookup instead of a per-base dict comprehension;
+    invalid bases raise exactly as the scalar path did (reporting the
+    upper-cased offending character).
+    """
     try:
-        return np.array([_BASE_TO_CODE[b] for b in sequence.upper()], dtype=np.uint8)
-    except KeyError as exc:  # pragma: no cover - defensive
-        raise ValueError(f"invalid base {exc.args[0]!r}") from exc
+        raw = np.frombuffer(sequence.encode("latin-1"), dtype=np.uint8)
+    except UnicodeEncodeError:
+        raw = None
+    if raw is None:
+        bad = next(b for b in sequence.upper() if b not in _BASE_TO_CODE)
+        raise ValueError(f"invalid base {bad!r}")
+    codes = _BYTE_TO_CODE[raw]
+    invalid = codes == _INVALID_CODE
+    if invalid.any():
+        bad = sequence[int(np.argmax(invalid))].upper()
+        raise ValueError(f"invalid base {bad!r}")
+    return codes
 
 
 def codes_to_sequence(codes: np.ndarray) -> str:
     """Convert 2-bit base codes back to an ACGT string."""
     return "".join(_CODE_TO_BASE[np.asarray(codes, dtype=np.uint8)])
+
+
+def _pack_windows(codes: np.ndarray, k: int) -> np.ndarray:
+    """2-bit-pack every length-``k`` window of a code array (vectorised).
+
+    ``k`` shift-and-or passes over the whole array — no ``(n, k)`` window
+    materialisation — with the first base in the most significant position
+    (the conventional polynomial packing).
+    """
+    n = codes.size - k + 1
+    out = np.zeros(n, dtype=np.uint64)
+    for i in range(k):
+        out = (out << np.uint64(2)) | codes[i : i + n]
+    return out
 
 
 def pack_kmers(read: np.ndarray, k: int) -> np.ndarray:
@@ -126,11 +162,7 @@ def pack_kmers(read: np.ndarray, k: int) -> np.ndarray:
         raise ValueError("k must be in [1, 32]")
     if read.size < k:
         return np.zeros(0, dtype=np.uint64)
-    n = read.size - k + 1
-    # Rolling 2-bit pack, vectorised over all windows.
-    weights = np.uint64(4) ** np.arange(k - 1, -1, -1, dtype=np.uint64)
-    windows = np.lib.stride_tricks.sliding_window_view(read, k)
-    return (windows * weights).sum(axis=1).astype(np.uint64)
+    return _pack_windows(read, k)
 
 
 def reverse_complement_packed(kmers: np.ndarray, k: int) -> np.ndarray:
@@ -154,16 +186,31 @@ def canonical_kmers(kmers: np.ndarray, k: int) -> np.ndarray:
 
 
 def extract_kmers(read_set: ReadSet, k: int = 21, canonical: bool = True) -> np.ndarray:
-    """All (canonical) k-mers of a read set, concatenated in read order."""
-    parts: List[np.ndarray] = []
-    for read in read_set.reads:
-        kmers = pack_kmers(read, k)
-        if canonical and kmers.size:
-            kmers = canonical_kmers(kmers, k)
-        parts.append(kmers)
-    if not parts:
+    """All (canonical) k-mers of a read set, concatenated in read order.
+
+    The whole read set is processed as one array: reads are concatenated,
+    every window of the concatenation is packed with :func:`_pack_windows`,
+    and windows spanning a read boundary are masked out — replacing the
+    per-read Python loop with a handful of whole-array operations.  Output
+    order (read-major, position-minor) matches the per-read extraction.
+    """
+    if not 1 <= k <= 32:
+        raise ValueError("k must be in [1, 32]")
+    reads = read_set.reads
+    if not reads:
         return np.zeros(0, dtype=np.uint64)
-    return np.concatenate(parts)
+    lengths = np.array([np.asarray(r).size for r in reads], dtype=np.int64)
+    total = int(lengths.sum())
+    if total < k:
+        return np.zeros(0, dtype=np.uint64)
+    cat = np.concatenate([np.asarray(r, dtype=np.uint64) for r in reads])
+    n_windows = total - k + 1
+    read_id = np.repeat(np.arange(lengths.size), lengths)
+    within_read = read_id[:n_windows] == read_id[k - 1 :]
+    kmers = _pack_windows(cat, k)[within_read]
+    if canonical and kmers.size:
+        kmers = canonical_kmers(kmers, k)
+    return kmers
 
 
 def kmer_spectrum(kmers: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
