@@ -1,148 +1,18 @@
-"""Ablation benchmarks for the design choices called out in DESIGN.md.
+"""Ablation benchmarks for the design choices the paper credits.
 
-These are not paper figures; they verify that the individual mechanisms the
-paper credits for its performance/robustness actually carry their weight in
-this reproduction:
+Thin wrapper over the ``ablations`` pipeline stage (``python -m repro run
+ablations``), which verifies:
 
 * the **backing table** raises the TCF's achievable load factor from ~80 %
   to 90 % (Section 4.1);
-* the **shortcut optimisation** saves roughly one cache-line read per insert
-  while the filter is below 75 % full;
+* the **shortcut optimisation** saves roughly one cache-line read per
+  insert while the filter is below 75 % full;
 * **map-reduce aggregation** removes the skew penalty for Zipfian counting
   (Section 5.4);
 * **sorting the batch** before bulk GQF insertion eliminates intra-batch
   Robin-Hood shifting (Section 5.3).
 """
 
-import numpy as np
-import pytest
 
-from repro.analysis.reporting import format_dict_rows
-from repro.core.exceptions import FilterFullError
-from repro.core.gqf import BulkGQF, QuotientFilterCore
-from repro.core.tcf import PointTCF, TCFConfig
-from repro.gpusim.stats import StatsRecorder
-from repro.hashing.xorwow import generate_keys
-from repro.workloads.generators import zipfian_count_dataset
-
-
-def _max_load_factor(config: TCFConfig, n_slots: int = 4096) -> float:
-    """Fill a TCF until the first insertion failure; return the load factor."""
-    filt = PointTCF(n_slots, config, StatsRecorder())
-    keys = generate_keys(n_slots * 2, seed=0xAB1A7E)
-    try:
-        for key in keys:
-            filt.insert(int(key))
-    except FilterFullError:
-        pass
-    return filt.load_factor
-
-
-def test_ablation_backing_table_load_factor(benchmark, report_writer):
-    """Without the backing table the TCF stalls near ~80 % load; with it the
-    filter reaches 90 %+ (paper: 79.6 % vs 90 %)."""
-    with_backing = TCFConfig(fingerprint_bits=16, block_size=16, backing_fraction=0.01)
-    # A vanishingly small backing table approximates "no backing store".
-    without_backing = TCFConfig(fingerprint_bits=16, block_size=16, backing_fraction=1e-9)
-
-    lf_with = benchmark.pedantic(_max_load_factor, args=(with_backing,), rounds=1, iterations=1)
-    lf_without = _max_load_factor(without_backing)
-
-    rows = [
-        {"configuration": "with backing table (1/100th)", "achievable_load_factor": lf_with},
-        {"configuration": "without backing table", "achievable_load_factor": lf_without},
-    ]
-    report_writer(
-        "ablation_backing_table",
-        format_dict_rows(rows, ["configuration", "achievable_load_factor"],
-                         "Ablation: TCF achievable load factor with/without the backing store"),
-    )
-    # At benchmark scale (a few hundred blocks) the first both-blocks-full
-    # event strikes later than at the paper's 2^28 scale (millions of blocks,
-    # where the filter stalls at ~79.6 % without the backing store), so the
-    # check here is directional: the backing table must extend the achievable
-    # load factor, and with it the filter must reach the 90 % target.
-    assert lf_with >= 0.89
-    assert lf_without < lf_with
-
-
-def test_ablation_shortcut_optimisation(benchmark, report_writer):
-    """The shortcut skips the secondary-block read below 75 % primary fill."""
-
-    def measure(shortcut_fill: float) -> float:
-        config = TCFConfig(fingerprint_bits=16, block_size=16, shortcut_fill=shortcut_fill)
-        recorder = StatsRecorder()
-        filt = PointTCF(4096, config, recorder)
-        keys = generate_keys(2000, seed=0x5C)
-        for key in keys:
-            filt.insert(int(key))
-        return recorder.total.cache_line_reads / 2000.0
-
-    reads_with = benchmark.pedantic(measure, args=(0.75,), rounds=1, iterations=1)
-    reads_without = measure(0.0)  # never shortcut
-
-    rows = [
-        {"configuration": "shortcut at 0.75 fill", "cache_line_reads_per_insert": reads_with},
-        {"configuration": "shortcut disabled", "cache_line_reads_per_insert": reads_without},
-    ]
-    report_writer(
-        "ablation_shortcut",
-        format_dict_rows(rows, ["configuration", "cache_line_reads_per_insert"],
-                         "Ablation: cache-line reads per TCF insert with/without the shortcut"),
-    )
-    assert reads_with < reads_without
-    assert reads_without - reads_with > 0.5  # roughly one line saved per insert
-
-
-def test_ablation_mapreduce_for_skew(benchmark, report_writer):
-    """Map-reduce aggregation removes the hot-item work from skewed batches."""
-    dataset = zipfian_count_dataset(3000, seed=0x21F)
-
-    def measure(use_mapreduce: bool) -> dict:
-        recorder = StatsRecorder()
-        gqf = BulkGQF(12, 8, region_slots=1024, use_mapreduce=use_mapreduce,
-                      recorder=recorder)
-        gqf.bulk_insert(dataset.keys)
-        return {
-            "configuration": "map-reduce" if use_mapreduce else "direct",
-            "slot_writes": recorder.total.cache_line_writes,
-            "slots_shifted": recorder.total.slots_shifted,
-        }
-
-    mr = benchmark.pedantic(measure, args=(True,), rounds=1, iterations=1)
-    direct = measure(False)
-    report_writer(
-        "ablation_mapreduce",
-        format_dict_rows([mr, direct], ["configuration", "slot_writes", "slots_shifted"],
-                         "Ablation: GQF work on a Zipfian batch with/without map-reduce"),
-    )
-    assert mr["slot_writes"] < direct["slot_writes"]
-
-
-def test_ablation_sorted_bulk_insert(benchmark, report_writer):
-    """Inserting a batch in sorted order eliminates intra-batch shifting."""
-    keys = generate_keys(3000, seed=0x50F7)
-
-    def measure(sort_first: bool) -> dict:
-        recorder = StatsRecorder()
-        core = QuotientFilterCore(12, 8, recorder, counting=True)
-        from repro.hashing.fingerprints import FingerprintScheme
-
-        scheme = FingerprintScheme(12, 8)
-        quotients, remainders = scheme.key_to_slot(keys)
-        order = np.argsort(quotients) if sort_first else np.arange(keys.size)
-        for i in order:
-            core.insert_fingerprint(int(quotients[i]), int(remainders[i]))
-        return {
-            "configuration": "sorted batch" if sort_first else "unsorted batch",
-            "slots_shifted": recorder.total.slots_shifted,
-        }
-
-    sorted_run = benchmark.pedantic(measure, args=(True,), rounds=1, iterations=1)
-    unsorted_run = measure(False)
-    report_writer(
-        "ablation_sorted_insert",
-        format_dict_rows([sorted_run, unsorted_run], ["configuration", "slots_shifted"],
-                         "Ablation: Robin-Hood slots shifted with sorted vs unsorted batches"),
-    )
-    assert sorted_run["slots_shifted"] <= unsorted_run["slots_shifted"] * 0.2 + 5
+def test_ablations(run_stage):
+    run_stage("ablations")

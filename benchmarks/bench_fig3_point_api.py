@@ -1,66 +1,12 @@
 """Figure 3: point-API throughput vs filter size on Cori (V100) and
 Perlmutter (A100).
 
-Six sub-figures: {inserts, positive queries, random queries} x {V100, A100},
-each comparing the TCF, GQF, Bloom filter and blocked Bloom filter.
+Thin wrapper over the ``fig3`` pipeline stage (``python -m repro run
+fig3``); the stage sweeps {inserts, positive queries, random queries} x
+{V100, A100} for the TCF, GQF, Bloom and blocked Bloom filters and carries
+the paper's qualitative claims as expectations.
 """
 
-import pytest
 
-from repro.analysis import figures
-from repro.analysis.reporting import format_figure_series
-from repro.analysis.throughput import PHASE_INSERT, PHASE_POSITIVE, PHASE_RANDOM
-from repro.gpusim.device import A100, V100
-
-from conftest import BENCH_QUERIES, BENCH_SIM_LG
-
-SIZES = figures.PAPER_SIZE_SWEEP
-PHASES = (
-    (PHASE_INSERT, "Point Inserts"),
-    (PHASE_POSITIVE, "Point Positive Queries"),
-    (PHASE_RANDOM, "Point Random Queries"),
-)
-
-
-@pytest.mark.parametrize("device", [V100, A100], ids=["cori", "perlmutter"])
-def test_figure3_point_api(benchmark, report_writer, device):
-    results = benchmark.pedantic(
-        figures.figure3_point_api,
-        args=(device, SIZES),
-        kwargs=dict(sim_lg=BENCH_SIM_LG, n_queries=BENCH_QUERIES),
-        rounds=1,
-        iterations=1,
-    )
-    system = device.system.capitalize()
-    sections = [
-        format_figure_series(results, phase, f"Figure 3 ({system}): {title}")
-        for phase, title in PHASES
-    ]
-    report_writer(f"figure3_point_api_{device.system}", "\n\n".join(sections))
-
-    # ---- shape assertions matching the paper's headline claims ------------
-    by_size = {key: {p.lg_capacity: p for p in series} for key, series in results.items()}
-    for lg in SIZES:
-        tcf, gqf = by_size["tcf"][lg], by_size["gqf"][lg]
-        bf, bbf = by_size["bf"][lg], by_size["bbf"][lg]
-        # TCF has the highest insert/query throughput among filters that
-        # support deletion (i.e. beats the GQF everywhere).  At 2^22 the GQF
-        # still fits in L2 while the TCF does not, so the positive-query gap
-        # closes there — only parity is required at that one size.
-        assert tcf.throughput_bops(PHASE_INSERT) > gqf.throughput_bops(PHASE_INSERT)
-        if lg >= 24:
-            assert tcf.throughput_bops(PHASE_POSITIVE) > gqf.throughput_bops(PHASE_POSITIVE)
-        else:
-            assert tcf.throughput_bops(PHASE_POSITIVE) > 0.9 * gqf.throughput_bops(PHASE_POSITIVE)
-        # GQF positive queries beat the Bloom filter (paper: 2.4x).
-        assert gqf.throughput_bops(PHASE_POSITIVE) > bf.throughput_bops(PHASE_POSITIVE)
-        # BF negative queries terminate early, so they beat its positive queries.
-        assert bf.throughput_bops(PHASE_RANDOM) > bf.throughput_bops(PHASE_POSITIVE)
-        # The BBF is the fastest filter overall (it gives up deletes/counts).
-        assert bbf.throughput_bops(PHASE_POSITIVE) >= tcf.throughput_bops(PHASE_POSITIVE) * 0.9
-
-    # The BF/BBF L2-residency outlier appears at 2^22 on the V100 and is gone
-    # by 2^26 (paper Section 6.1).
-    if device is V100:
-        assert by_size["bf"][22].throughput_bops(PHASE_POSITIVE) > \
-            1.5 * by_size["bf"][26].throughput_bops(PHASE_POSITIVE)
+def test_figure3_point_api(run_stage):
+    run_stage("fig3")

@@ -1,65 +1,11 @@
 """Figure 4: bulk-API throughput vs filter size (one batch) on both GPUs.
 
-Compares the bulk TCF, bulk GQF, SQF and RSQF.  The SQF/RSQF series stop at
-2^26 because of their implementation limit, exactly as in the paper.
+Thin wrapper over the ``fig4`` pipeline stage (``python -m repro run
+fig4``); the stage compares the bulk TCF, bulk GQF, SQF and RSQF — the
+SQF/RSQF series stop at 2^26 because of their implementation limit,
+exactly as in the paper — and carries the paper's claims as expectations.
 """
 
-import pytest
 
-from repro.analysis import figures
-from repro.analysis.reporting import format_figure_series
-from repro.analysis.throughput import PHASE_INSERT, PHASE_POSITIVE, PHASE_RANDOM
-from repro.gpusim.device import A100, V100
-
-from conftest import BENCH_QUERIES, BENCH_SIM_LG
-
-SIZES = figures.PAPER_SIZE_SWEEP
-PHASES = (
-    (PHASE_INSERT, "Bulk Inserts"),
-    (PHASE_POSITIVE, "Bulk Positive Queries"),
-    (PHASE_RANDOM, "Bulk Random Queries"),
-)
-
-
-@pytest.mark.parametrize("device", [V100, A100], ids=["cori", "perlmutter"])
-def test_figure4_bulk_api(benchmark, report_writer, device):
-    results = benchmark.pedantic(
-        figures.figure4_bulk_api,
-        args=(device, SIZES),
-        kwargs=dict(sim_lg=BENCH_SIM_LG, n_queries=BENCH_QUERIES),
-        rounds=1,
-        iterations=1,
-    )
-    system = device.system.capitalize()
-    sections = [
-        format_figure_series(results, phase, f"Figure 4 ({system}): {title}")
-        for phase, title in PHASES
-    ]
-    report_writer(f"figure4_bulk_api_{device.system}", "\n\n".join(sections))
-
-    by_size = {key: {p.lg_capacity: p for p in series} for key, series in results.items()}
-
-    # SQF/RSQF cannot be sized beyond 2^26.
-    assert max(by_size["sqf"]) == 26
-    assert max(by_size["rsqf"]) == 26
-
-    for lg in SIZES:
-        tcf = by_size["bulk-tcf"][lg]
-        gqf = by_size["bulk-gqf"][lg]
-        # The bulk TCF is the fastest filter for inserts at every size.
-        assert tcf.throughput_bops(PHASE_INSERT) > gqf.throughput_bops(PHASE_INSERT)
-        if lg in by_size["sqf"]:
-            assert tcf.throughput_bops(PHASE_INSERT) > by_size["sqf"][lg].throughput_bops(PHASE_INSERT)
-            # RSQF inserts are orders of magnitude slower than everything else.
-            assert by_size["rsqf"][lg].throughput_bops(PHASE_INSERT) < \
-                0.1 * by_size["sqf"][lg].throughput_bops(PHASE_INSERT)
-
-    # Bulk-GQF insert throughput grows with the filter size (thread-per-region
-    # kernels saturate the GPU only on large filters).
-    gqf_series = [by_size["bulk-gqf"][lg].throughput_bops(PHASE_INSERT) for lg in SIZES]
-    assert gqf_series[-1] > gqf_series[0]
-
-    # On the A100 the bulk TCF reaches multi-billion-per-second inserts
-    # (paper headline: 3.4 B/s).
-    if device is A100:
-        assert by_size["bulk-tcf"][30].throughput_bops(PHASE_INSERT) > 2.0
+def test_figure4_bulk_api(run_stage):
+    run_stage("fig4")

@@ -1,66 +1,11 @@
 """Figure 5: TCF throughput vs cooperative-group size for filter variants.
 
-Each variant label is ``<fingerprint bits>-<block size>``; the paper sweeps
-cooperative-group sizes 1..32 on filters sized to 2^28 and finds 4 optimal
-for most variants, with the 8/16-bit variants beating the 12-bit ones.
+Thin wrapper over the ``fig5`` pipeline stage (``python -m repro run
+fig5``): sweeps cooperative-group sizes 1..32 over seven TCF variants at
+2^28 and expects an intermediate CG size to win, with the word-aligned
+16-bit variants beating the CAS-straddling 12-bit ones.
 """
 
-from repro.analysis import figures
-from repro.analysis.reporting import format_table
-from repro.analysis.throughput import PHASE_INSERT, PHASE_POSITIVE, PHASE_RANDOM
-from repro.core.tcf import FIGURE5_CG_SIZES, FIGURE5_VARIANTS
-from repro.gpusim.device import V100
 
-LG_CAPACITY = 28
-SIM_LG = 10
-PHASES = (
-    (PHASE_INSERT, "Inserts"),
-    (PHASE_POSITIVE, "Positive Queries"),
-    (PHASE_RANDOM, "Random Queries"),
-)
-
-
-def _format(results, phase, title):
-    headers = ["CG size"] + list(results.keys())
-    rows = []
-    for cg in FIGURE5_CG_SIZES:
-        row = [cg]
-        for label in results:
-            row.append(results[label][cg].throughput_bops(phase))
-        rows.append(row)
-    return format_table(headers, rows, title=f"Figure 5: {title} at 2^{LG_CAPACITY} [B ops/s]")
-
-
-def test_figure5_cooperative_group_sweep(benchmark, report_writer):
-    results = benchmark.pedantic(
-        figures.figure5_cg_sweep,
-        kwargs=dict(
-            device=V100,
-            lg_capacity=LG_CAPACITY,
-            variants=FIGURE5_VARIANTS,
-            cg_sizes=FIGURE5_CG_SIZES,
-            sim_lg=SIM_LG,
-            n_queries=512,
-        ),
-        rounds=1,
-        iterations=1,
-    )
-    sections = [_format(results, phase, title) for phase, title in PHASES]
-    best = figures.figure5_optimal_cg(results, PHASE_INSERT)
-    sections.append(
-        format_table(
-            ["variant", "best CG size (inserts)"],
-            [[label, cg] for label, cg in best.items()],
-            title="Figure 5: optimal cooperative-group size per variant",
-        )
-    )
-    report_writer("figure5_cg_sweep", "\n\n".join(sections))
-
-    # Shape checks: an intermediate CG size wins (never the 32-lane extreme),
-    # and the word-aligned 16-bit variants beat their 12-bit counterparts,
-    # which pay extra atomics for slots that straddle CAS words.
-    for label, cg in best.items():
-        assert cg in (1, 2, 4, 8, 16)
-    for cg in FIGURE5_CG_SIZES:
-        assert results["16-16"][cg].throughput_bops(PHASE_INSERT) >= \
-            results["12-16"][cg].throughput_bops(PHASE_INSERT)
+def test_figure5_cooperative_group_sweep(run_stage):
+    run_stage("fig5")

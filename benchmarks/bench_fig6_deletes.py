@@ -1,48 +1,11 @@
 """Figure 6: deletion throughput of the bulk GQF, SQF and point TCF (Cori).
 
-Paper claims reproduced here: the TCF deletes with a single atomicCAS and is
-over an order of magnitude faster than the GQF; the GQF's even-odd sorted
-deletes are in turn up to two orders of magnitude faster than the SQF; the
-SQF series stops at its 2^26 capacity limit.
+Thin wrapper over the ``fig6`` pipeline stage (``python -m repro run
+fig6``); expectations: the TCF's single-CAS deletes are over an order of
+magnitude faster than the GQF's, the GQF's even-odd sorted deletes beat
+the SQF everywhere, and the SQF series stops at its 2^26 capacity limit.
 """
 
-from repro.analysis import figures
-from repro.analysis.reporting import format_figure_series
-from repro.analysis.throughput import PHASE_DELETE
-from repro.gpusim.device import V100
 
-from conftest import BENCH_QUERIES, BENCH_SIM_LG
-
-SIZES = figures.PAPER_SIZE_SWEEP
-
-
-def test_figure6_deletions(benchmark, report_writer):
-    results = benchmark.pedantic(
-        figures.figure6_deletions,
-        kwargs=dict(device=V100, lg_capacities=SIZES, sim_lg=BENCH_SIM_LG,
-                    n_queries=BENCH_QUERIES),
-        rounds=1,
-        iterations=1,
-    )
-    text = format_figure_series(
-        results, PHASE_DELETE, "Figure 6: Deletion throughput (Cori)",
-        unit="M ops/s", scale=1e-6,
-    )
-    report_writer("figure6_deletions", text)
-
-    by_size = {key: {p.lg_capacity: p for p in series} for key, series in results.items()}
-    assert max(by_size["sqf"]) == 26  # capacity limit truncates the series
-
-    for lg in SIZES:
-        tcf = by_size["tcf"][lg].throughput_bops(PHASE_DELETE)
-        gqf = by_size["bulk-gqf"][lg].throughput_bops(PHASE_DELETE)
-        # TCF deletes are more than an order of magnitude faster than the GQF.
-        assert tcf > 10 * gqf
-        if lg in by_size["sqf"]:
-            sqf = by_size["sqf"][lg].throughput_bops(PHASE_DELETE)
-            # GQF deletes are faster than the SQF everywhere, and the gap
-            # widens with filter size (the even-odd scheme saturates the GPU
-            # while the SQF's delete path stays serial).
-            assert gqf > sqf
-            if lg >= 24:
-                assert gqf > 3 * sqf
+def test_figure6_deletions(run_stage):
+    run_stage("fig6")

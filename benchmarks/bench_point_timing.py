@@ -1,74 +1,16 @@
 """Wall-clock timing of the point-API hot paths (perf-trajectory guard).
 
-Unlike the figure/table benchmarks — which report *simulated* device
-throughput — this benchmark measures how long the functional simulation
-itself takes to run the point-API batched paths and the two k-mer
-applications on this machine, and writes the numbers to
-``benchmarks/results/BENCH_POINT.json`` as a flat ``{key: seconds}`` map so
-future PRs have a machine-readable perf trajectory to compare against.
-
-The sizes mirror the workloads that motivated the point-path vectorisation:
-50 K point-GQF / point-TCF inserts, 20 K TCF queries and deletes, and a
-synthetic read set of ~160 K 21-mers through both applications.
+Thin wrapper over the ``point_timing`` pipeline stage (``python -m repro
+run point_timing``).  Unlike the figure/table stages — which report
+*simulated* device throughput — this one measures how long the functional
+simulation itself takes on the point-API batched paths and the two k-mer
+applications, and writes ``benchmarks/results/BENCH_POINT.json`` (preset,
+batch sizes, and a ``{key: seconds}`` timing map) so future PRs have a
+machine-readable perf trajectory to compare against.  The expectation guards the sustained
+keys/s rates of the vectorised paths, so it scales with the preset's
+batch sizes.
 """
 
-from __future__ import annotations
 
-import json
-import time
-
-import numpy as np
-
-from repro.apps.kmer_counter import GPUKmerCounter
-from repro.apps.metahipmer import KmerAnalysisPhase
-from repro.core.gqf import PointGQF
-from repro.core.tcf import PointTCF
-from repro.gpusim.stats import StatsRecorder
-from repro.workloads import kmer as kmer_mod
-
-#: Batch sizes of the measured paths (the ISSUE's acceptance workloads).
-N_INSERTS = 50_000
-N_QUERIES = 20_000
-
-
-def _timed(label: str, timings: dict, fn, *args, **kwargs):
-    start = time.perf_counter()
-    result = fn(*args, **kwargs)
-    timings[label] = round(time.perf_counter() - start, 6)
-    return result
-
-
-def test_point_timing_summary(report_writer, results_dir):
-    rng = np.random.default_rng(0xBEEF)
-    keys = rng.integers(0, 2**63, size=N_INSERTS, dtype=np.uint64)
-    timings: dict = {}
-
-    gqf = PointGQF.for_capacity(N_INSERTS + N_QUERIES, recorder=StatsRecorder())
-    _timed("gqf_point_insert_50k_s", timings, gqf.bulk_insert, keys)
-    _timed("gqf_point_query_20k_s", timings, gqf.bulk_query, keys[:N_QUERIES])
-    _timed("gqf_point_delete_20k_s", timings, gqf.bulk_delete, keys[:N_QUERIES])
-
-    tcf = PointTCF.for_capacity(N_INSERTS + N_QUERIES, recorder=StatsRecorder())
-    _timed("tcf_point_insert_50k_s", timings, tcf.bulk_insert, keys)
-    _timed("tcf_point_query_20k_s", timings, tcf.bulk_query, keys[:N_QUERIES])
-    _timed("tcf_point_delete_20k_s", timings, tcf.bulk_delete, keys[:N_QUERIES])
-
-    genome = kmer_mod.random_genome(20_000, seed=1)
-    reads = kmer_mod.generate_reads(genome, coverage=10.0, seed=2)
-    kmers = _timed("kmer_extract_200kb_s", timings, kmer_mod.extract_kmers, reads, 21)
-    counter = GPUKmerCounter(expected_kmers=int(kmers.size), exclude_singletons=True)
-    _timed("app_kmer_counter_160k_s", timings, counter.count_kmers, kmers)
-    phase = KmerAnalysisPhase(expected_kmers=int(kmers.size))
-    _timed("app_metahipmer_160k_s", timings, phase.process_kmers, kmers)
-
-    (results_dir / "BENCH_POINT.json").write_text(json.dumps(timings, indent=2) + "\n")
-    lines = ["Point-path wall-clock timings (functional simulation, this machine)"]
-    lines += [f"  {key:<28s} {seconds:8.4f}" for key, seconds in timings.items()]
-    report_writer("bench_point_timing", "\n".join(lines))
-
-    # Regression guard: the ISSUE's acceptance thresholds (>= 50x over the
-    # per-item loops measured before the vectorisation), with 4x headroom
-    # for slower CI machines.
-    assert timings["gqf_point_insert_50k_s"] < 0.4
-    assert timings["tcf_point_insert_50k_s"] < 0.6
-    assert timings["tcf_point_query_20k_s"] < 0.2
+def test_point_timing_summary(run_stage):
+    run_stage("point_timing")

@@ -1,35 +1,10 @@
-"""Table 2: empirical false-positive rate and bits per item of every filter."""
+"""Table 2: empirical false-positive rate and bits per item of every filter.
 
-from repro.analysis.fpr import run_table2
-from repro.analysis.reporting import format_dict_rows
-
-#: Measurement scale: 2^13-item filters keep the run short while giving
-#: ~10k negative queries of FP-rate resolution.
-LG_CAPACITY = 13
-N_NEGATIVE = 10_000
+Thin wrapper over the ``table2`` pipeline stage (``python -m repro run
+table2``); the measurement scale (filter capacity, negative-query count)
+comes from the active preset.
+"""
 
 
-def test_table2_fpr_and_bits_per_item(benchmark, report_writer):
-    rows = benchmark.pedantic(
-        run_table2, kwargs=dict(lg_capacity=LG_CAPACITY, n_negative=N_NEGATIVE),
-        rounds=1, iterations=1,
-    )
-    text = format_dict_rows(
-        rows,
-        ["filter", "fp_rate_percent", "bits_per_item",
-         "paper_fp_percent", "paper_bits_per_item"],
-        "Table 2: measured FP rate (%) and bits per item vs paper",
-    )
-    report_writer("table2_fpr_bpi", text)
-
-    by_name = {row["filter"]: row for row in rows}
-    # Shape checks mirroring the paper's Table 2:
-    # 5-bit-remainder quotient filters (SQF/RSQF) have ~10x the FP rate of
-    # the 8-bit-remainder GQF.
-    assert by_name["SQF"]["fp_rate_percent"] > 3 * by_name["GQF"]["fp_rate_percent"]
-    # The TCF family trades space for speed (more bits per item than the GQF).
-    assert by_name["TCF"]["bits_per_item"] > by_name["GQF"]["bits_per_item"]
-    assert by_name["Bulk TCF"]["bits_per_item"] > by_name["GQF"]["bits_per_item"]
-    # Every filter lands within an order of magnitude of its paper FP rate.
-    for name, row in by_name.items():
-        assert row["fp_rate_percent"] <= 10 * max(row["paper_fp_percent"], 0.05)
+def test_table2_fpr_and_bits_per_item(run_stage):
+    run_stage("table2")

@@ -1,67 +1,12 @@
 """Table 3: MetaHipMer k-mer analysis memory with and without the TCF.
 
-Two layers: (1) a functional run of the k-mer analysis phase on synthetic
-singleton-heavy reads measures the achievable singleton fraction and checks
-that non-singleton counts are preserved; (2) the per-k-mer accounting is
-scaled to the paper's WA and Rhizo datasets to regenerate the table rows.
+Thin wrapper over the ``table3`` pipeline stage (``python -m repro run
+table3``).  Two layers: (1) a functional run on synthetic singleton-heavy
+reads checks the TCF keeps singletons out of the hash table; (2) the
+per-k-mer accounting is scaled to the paper's WA and Rhizo datasets to
+regenerate the table rows, expecting a >40 % memory reduction.
 """
 
-from repro.analysis.reporting import format_dict_rows
-from repro.apps.metahipmer import KmerAnalysisPhase, memory_reduction, run_table3
-from repro.workloads import kmer as kmer_mod
 
-
-def _functional_run():
-    genome = kmer_mod.random_genome(3000, seed=33)
-    reads = kmer_mod.generate_reads(genome, 100, 6.0, error_rate=0.015, seed=33)
-    with_tcf = KmerAnalysisPhase(expected_kmers=40_000, use_tcf=True)
-    without = KmerAnalysisPhase(expected_kmers=40_000, use_tcf=False)
-    with_tcf.process_read_set(reads)
-    without.process_read_set(reads)
-    kmers = kmer_mod.extract_kmers(reads, 21)
-    return with_tcf, without, kmer_mod.singleton_fraction(kmers)
-
-
-def test_table3_metahipmer_memory(benchmark, report_writer):
-    with_tcf, without, singleton_fraction = benchmark.pedantic(
-        _functional_run, rounds=1, iterations=1
-    )
-
-    # Functional check: the TCF keeps singletons out of the hash table.
-    assert with_tcf.hash_table.n_entries < without.hash_table.n_entries
-
-    rows = run_table3()
-    table_rows = [row.as_row() for row in rows]
-    text = format_dict_rows(
-        table_rows,
-        ["dataset", "method", "nodes", "tcf_mem_gb", "ht_mem_gb", "total_mem_gb"],
-        "Table 3: MetaHipMer memory usage (aggregate GB across 64 nodes)",
-        "{:.0f}",
-    )
-    functional = format_dict_rows(
-        [
-            {
-                "configuration": "synthetic reads + TCF",
-                "ht_entries": with_tcf.hash_table.n_entries,
-                "ht_bytes": with_tcf.hash_table.nbytes,
-                "tcf_bytes": with_tcf.tcf.nbytes,
-            },
-            {
-                "configuration": "synthetic reads, no TCF",
-                "ht_entries": without.hash_table.n_entries,
-                "ht_bytes": without.hash_table.nbytes,
-                "tcf_bytes": 0,
-            },
-        ],
-        ["configuration", "ht_entries", "ht_bytes", "tcf_bytes"],
-        f"Functional k-mer analysis run (measured singleton fraction: {singleton_fraction:.2f})",
-        "{:.0f}",
-    )
-    report_writer("table3_metahipmer", text + "\n\n" + functional)
-
-    # Paper shape: using the TCF reduces total memory substantially on both
-    # datasets (the paper reports a 38 % whole-application reduction and a
-    # ~2.9-5.4x reduction within the k-mer analysis phase).
-    reductions = memory_reduction(rows)
-    assert reductions["WA"] > 0.4
-    assert reductions["Rhizo"] > 0.4
+def test_table3_metahipmer_memory(run_stage):
+    run_stage("table3")

@@ -1,37 +1,10 @@
-"""Table 4: aggregate throughput of the CPU filters (CQF, VQF on KNL) vs the
-GPU filters (point GQF, point TCF on the V100)."""
+"""Table 4: aggregate throughput of the CPU filters (CQF, VQF on KNL) vs
+the GPU filters (point GQF, point TCF on the V100).
 
-from repro.analysis.reporting import format_dict_rows
-from repro.analysis.tables import run_table4
-
-from conftest import BENCH_QUERIES, BENCH_SIM_LG
-
-LG_CAPACITY = 28
+Thin wrapper over the ``table4`` pipeline stage (``python -m repro run
+table4``).
+"""
 
 
-def test_table4_cpu_vs_gpu(benchmark, report_writer):
-    rows = benchmark.pedantic(
-        run_table4,
-        kwargs=dict(lg_capacity=LG_CAPACITY, sim_lg=BENCH_SIM_LG, n_queries=BENCH_QUERIES),
-        rounds=1,
-        iterations=1,
-    )
-    text = format_dict_rows(
-        rows,
-        ["filter", "device", "insert_mops", "positive_mops", "random_mops",
-         "paper_insert_mops", "paper_positive_mops", "paper_random_mops"],
-        "Table 4: CPU vs GPU filter throughput (Million ops/s) at 2^28",
-        "{:.1f}",
-    )
-    report_writer("table4_cpu_vs_gpu", text)
-
-    by_name = {row["filter"]: row for row in rows}
-    # GPU designs beat their CPU ancestors on every operation.
-    assert by_name["GQF"]["insert_mops"] > by_name["CQF (CPU)"]["insert_mops"]
-    assert by_name["TCF"]["insert_mops"] > by_name["VQF (CPU)"]["insert_mops"]
-    assert by_name["GQF"]["positive_mops"] > 3 * by_name["CQF (CPU)"]["positive_mops"]
-    assert by_name["TCF"]["positive_mops"] > 3 * by_name["VQF (CPU)"]["positive_mops"]
-    # The CPU CQF's lock-contended inserts are its weak point (paper: 2.2 M/s).
-    assert by_name["CQF (CPU)"]["insert_mops"] < by_name["VQF (CPU)"]["insert_mops"]
-    # The TCF is the fastest inserter overall.
-    assert by_name["TCF"]["insert_mops"] > by_name["GQF"]["insert_mops"]
+def test_table4_cpu_vs_gpu(run_stage):
+    run_stage("table4")

@@ -1,55 +1,11 @@
-"""Table 5: GQF counting (bulk insert) throughput for datasets with different
-count distributions, across filter sizes 2^22..2^28."""
+"""Table 5: GQF counting (bulk insert) throughput for datasets with
+different count distributions, across filter sizes 2^22..2^28.
 
-from repro.analysis.reporting import format_table
-from repro.analysis.tables import (
-    PAPER_TABLE5,
-    TABLE5_DATASETS,
-    TABLE5_SIZES,
-    run_table5,
-    table5_as_grid,
-)
-
-from conftest import BENCH_SIM_LG
+Thin wrapper over the ``table5`` pipeline stage (``python -m repro run
+table5``); the stage expects the Zipfian skew penalty, its map-reduce
+recovery, and size scaling for the non-skewed datasets.
+"""
 
 
-def test_table5_counting_throughput(benchmark, report_writer):
-    results = benchmark.pedantic(
-        run_table5, kwargs=dict(sim_lg=BENCH_SIM_LG), rounds=1, iterations=1
-    )
-    grid = table5_as_grid(results)
-
-    headers = ["size (log2)"] + list(TABLE5_DATASETS)
-    rows = []
-    for lg in TABLE5_SIZES:
-        rows.append([lg] + [grid[lg][name] for name in TABLE5_DATASETS])
-    measured = format_table(
-        headers, rows,
-        title="Table 5: GQF counting throughput (Million items/s) — measured (modelled)",
-        float_format="{:.1f}",
-    )
-    paper_rows = [[lg] + [PAPER_TABLE5[lg][name] for name in TABLE5_DATASETS]
-                  for lg in TABLE5_SIZES]
-    paper = format_table(
-        headers, paper_rows,
-        title="Table 5 (paper-reported values, for comparison)",
-        float_format="{:.1f}",
-    )
-    report_writer("table5_counting", measured + "\n\n" + paper)
-
-    # ---- shape assertions ---------------------------------------------------
-    for lg in TABLE5_SIZES:
-        row = grid[lg]
-        # Un-aggregated Zipfian counting collapses to a few M/s...
-        assert row["Zipfian count"] < 0.2 * row["UR"]
-        # ...and the map-reduce optimisation recovers (and exceeds) UR speed.
-        assert row["Zipfian count (MR)"] > 10 * row["Zipfian count"]
-        assert row["Zipfian count (MR)"] >= 0.8 * row["UR count"]
-    # UR / UR-count / k-mer throughput grows with the filter size.
-    for name in ("UR", "UR count", "k-mer count"):
-        assert grid[28][name] > grid[22][name]
-    # The Zipfian (non-MR) column is flat: it does not scale with size.
-    zipf = [grid[lg]["Zipfian count"] for lg in TABLE5_SIZES]
-    assert max(zipf) < 3 * min(zipf)
-    # High-throughput counting headline: 500+ M/s at 2^28 for UR-style data.
-    assert grid[28]["UR"] > 300
+def test_table5_counting_throughput(run_stage):
+    run_stage("table5")

@@ -1,33 +1,41 @@
 """Shared helpers for the benchmark harness.
 
-Every benchmark regenerates one table or figure of the paper: it runs the
-functional simulation + performance model at a reduced simulation scale,
-formats the same rows/series the paper reports, prints them, and writes them
-to ``benchmarks/results/<name>.txt`` so the output survives the pytest run.
+Every benchmark regenerates one table or figure of the paper by invoking
+the matching **pipeline stage** (see :mod:`repro.pipeline`): the stage runs
+the functional simulation + performance model at the active preset's scale,
+formats the same rows/series the paper reports, and this harness prints
+them and writes them to ``benchmarks/results/<name>.txt``.
 
 Run with::
 
     pytest benchmarks/ --benchmark-only
+
+Scale constants live in the **preset system**
+(:mod:`repro.pipeline.presets`), not here: select one with the
+``REPRO_PRESET`` environment variable (``smoke`` / ``default`` /
+``paper``; the default matches the harness's historical
+``BENCH_SIM_LG``-based scale).  The same stages also run outside pytest
+via ``python -m repro reproduce --preset <name>``.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
+from repro.pipeline import get_preset, get_stage
+
 #: Directory where the formatted tables/figures are written.
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
-#: Simulation scale (log2 slots) used by the benchmarks.  Small enough that
-#: the whole suite runs in a few minutes, large enough that per-operation
-#: event counts are stable.  With both bulk filters vectorised (GQF in PR 1,
-#: TCF in PR 2), all six baselines vectorised (PR 3) and the point APIs +
-#: applications vectorised (PR 4) no per-item loop caps the scale anymore,
-#: so the sampled table size doubles again.
-BENCH_SIM_LG = 15
-#: Queries simulated per phase.
-BENCH_QUERIES = 1024
+#: The active scale preset (see repro/pipeline/presets.py).
+PRESET = get_preset(os.environ.get("REPRO_PRESET", "default"))
+
+#: Historical aliases, kept for anything that imports the raw constants.
+BENCH_SIM_LG = PRESET.sim_lg
+BENCH_QUERIES = PRESET.n_queries
 
 
 @pytest.fixture(scope="session")
@@ -45,3 +53,24 @@ def report_writer(results_dir):
         (results_dir / f"{name}.txt").write_text(text + "\n")
 
     return write
+
+
+@pytest.fixture
+def run_stage(benchmark, report_writer, results_dir):
+    """Run one pipeline stage under pytest-benchmark and assert its
+    paper expectations; returns the stage's :class:`StageOutput`."""
+
+    def run(stage_name: str):
+        stage = get_stage(stage_name)
+        output = benchmark.pedantic(stage.run, args=(PRESET,), rounds=1, iterations=1)
+        for name, text in output.reports.items():
+            report_writer(name, text)
+        for filename, content in output.files.items():
+            (results_dir / filename).write_text(content)
+        failures = [r for r in stage.evaluate(output.data) if not r.passed]
+        assert not failures, "paper expectations failed:\n" + "\n".join(
+            f"  {r.expectation_id}: {r.detail or r.description}" for r in failures
+        )
+        return output
+
+    return run

@@ -14,11 +14,17 @@ Run with::
     python examples/database_join_filter.py
 """
 
+import os
+
 import numpy as np
 
 from repro.core.gqf import BulkGQF
 from repro.core.tcf import BulkTCF
 from repro.hashing import generate_keys
+
+#: REPRO_EXAMPLE_SCALE=tiny shrinks the tables so tests/test_examples.py
+#: can run every example as a fast subprocess smoke test.
+TINY = os.environ.get("REPRO_EXAMPLE_SCALE") == "tiny"
 
 
 def build_fact_table(n_rows: int, n_customers: int, seed: int = 3):
@@ -34,7 +40,7 @@ def build_fact_table(n_rows: int, n_customers: int, seed: int = 3):
 
 
 def main() -> None:
-    n_orders, n_customers = 200_000, 5_000
+    n_orders, n_customers = (20_000, 800) if TINY else (200_000, 5_000)
     print(f"building a fact table with {n_orders} orders from {n_customers} customers...")
     order_customers, _amounts = build_fact_table(n_orders, n_customers)
 

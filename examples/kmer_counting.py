@@ -13,17 +13,23 @@ Run with::
     python examples/kmer_counting.py
 """
 
+import os
+
 import numpy as np
 
 from repro.apps.kmer_counter import GPUKmerCounter
 from repro.apps.metahipmer import KmerAnalysisPhase
 from repro.workloads import kmer
 
+#: REPRO_EXAMPLE_SCALE=tiny shrinks the sample so tests/test_examples.py
+#: can run every example as a fast subprocess smoke test.
+GENOME_BP = 2_000 if os.environ.get("REPRO_EXAMPLE_SCALE") == "tiny" else 20_000
+
 
 def main() -> None:
     # ------------------------------------------------------------------ data
     print("generating a synthetic metagenome sample...")
-    genome = kmer.random_genome(20_000, seed=11)
+    genome = kmer.random_genome(GENOME_BP, seed=11)
     reads = kmer.generate_reads(genome, read_length=100, coverage=8.0,
                                 error_rate=0.01, seed=11)
     kmers = kmer.extract_kmers(reads, k=21)

@@ -12,31 +12,37 @@ Run with::
     python examples/quickstart.py
 """
 
+import os
+
 from repro import BulkGQF, PointGQF, PointTCF
 from repro.core.tcf import TCFConfig
 from repro.hashing import generate_keys
 
+#: REPRO_EXAMPLE_SCALE=tiny shrinks the demo 10x so tests/test_examples.py
+#: can run every example as a fast subprocess smoke test.
+N = 1_000 if os.environ.get("REPRO_EXAMPLE_SCALE") == "tiny" else 10_000
+
 
 def tcf_demo() -> None:
     print("=== Two-Choice Filter (TCF) ===")
-    # Size the filter for 100k items at its recommended 90 % load factor.
-    tcf = PointTCF.for_capacity(100_000)
-    keys = generate_keys(50_000, seed=42)
+    # Size the filter for 10x the inserted items at its recommended 90 % load.
+    tcf = PointTCF.for_capacity(10 * N)
+    keys = generate_keys(5 * N, seed=42)
 
-    for key in keys[:10_000]:
+    for key in keys[:N]:
         tcf.insert(int(key))
-    print(f"inserted 10,000 items; load factor {tcf.load_factor:.3f}")
+    print(f"inserted {N:,} items; load factor {tcf.load_factor:.3f}")
 
-    present = sum(tcf.query(int(k)) for k in keys[:10_000])
-    absent = sum(tcf.query(int(k)) for k in keys[10_000:20_000])
-    print(f"positive queries found {present}/10000 (never a false negative)")
-    print(f"negative queries matched {absent}/10000 "
+    present = sum(tcf.query(int(k)) for k in keys[:N])
+    absent = sum(tcf.query(int(k)) for k in keys[N:2 * N])
+    print(f"positive queries found {present}/{N} (never a false negative)")
+    print(f"negative queries matched {absent}/{N} "
           f"(false-positive rate ~{tcf.false_positive_rate:.4%})")
 
     # Deletions tombstone the fingerprint with a single compare-and-swap.
-    for key in keys[:5_000]:
+    for key in keys[:N // 2]:
         tcf.delete(int(key))
-    print(f"deleted 5,000 items; {tcf.n_items} remain\n")
+    print(f"deleted {N // 2:,} items; {tcf.n_items} remain\n")
 
     # Small values can be packed next to the fingerprint.
     valued = PointTCF.for_capacity(
@@ -48,20 +54,20 @@ def tcf_demo() -> None:
 
 def gqf_demo() -> None:
     print("=== GPU Counting Quotient Filter (GQF) ===")
-    gqf = PointGQF.for_capacity(100_000)
-    keys = generate_keys(5_000, seed=7)
+    gqf = PointGQF.for_capacity(10 * N)
+    keys = generate_keys(N // 2, seed=7)
 
     # The GQF counts multiplicities; counts are never under-reported.
     for key in keys:
         gqf.insert(int(key))
-    for key in keys[:1_000]:
+    for key in keys[:N // 10]:
         gqf.insert(int(key))  # second occurrence
     print(f"count of a twice-inserted key: {gqf.count(int(keys[0]))}")
-    print(f"count of a once-inserted key:  {gqf.count(int(keys[2_000]))}")
+    print(f"count of a once-inserted key:  {gqf.count(int(keys[N // 5]))}")
     print(f"count of an absent key:        {gqf.count(987654321)}")
 
     # The bulk API inserts a whole batch with the lock-free even-odd scheme.
-    bulk = BulkGQF.for_capacity(100_000)
+    bulk = BulkGQF.for_capacity(10 * N)
     bulk.bulk_insert(keys)
     print(f"bulk filter holds {bulk.n_items} distinct items "
           f"at load factor {bulk.load_factor:.3f}")

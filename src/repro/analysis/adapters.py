@@ -15,7 +15,7 @@ per-operation hardware events.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

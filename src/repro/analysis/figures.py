@@ -9,9 +9,7 @@ tests exercise exactly the code the benchmarks run.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.tcf import FIGURE5_CG_SIZES, FIGURE5_VARIANTS, TCFConfig
 from ..gpusim.device import A100, V100, GPUSpec
@@ -20,11 +18,8 @@ from .throughput import (
     DEFAULT_SIM_LG,
     PHASE_DELETE,
     PHASE_INSERT,
-    PHASE_POSITIVE,
-    PHASE_RANDOM,
     STANDARD_PHASES,
     BenchmarkPoint,
-    FilterAdapter,
     run_size_sweep,
     sweep_many,
 )

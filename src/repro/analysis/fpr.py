@@ -15,7 +15,7 @@ exactly as the paper does.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List
 
 import numpy as np
 

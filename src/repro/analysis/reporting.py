@@ -8,7 +8,7 @@ which is sufficient to compare shapes and crossovers against the paper.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 from .throughput import BenchmarkPoint
 

@@ -16,7 +16,7 @@ Table 3 (MetaHipMer memory) is produced by :mod:`repro.apps.metahipmer`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
@@ -39,7 +39,6 @@ from .throughput import (
     PHASE_POSITIVE,
     PHASE_RANDOM,
     STANDARD_PHASES,
-    BenchmarkPoint,
     single_point,
 )
 

@@ -34,7 +34,7 @@ from ..core.exceptions import FilterFullError
 from ..gpusim.device import GPUSpec
 from ..gpusim.perfmodel import PerfEstimate, estimate_time
 from ..gpusim.stats import KernelStats, StatsRecorder
-from ..workloads.generators import Workload, uniform_workload
+from ..workloads.generators import uniform_workload
 
 #: Default simulation scale: log2 of the number of slots actually built.
 DEFAULT_SIM_LG = 12

@@ -32,7 +32,7 @@ from ...gpusim.stats import StatsRecorder
 from ...hashing.fingerprints import FingerprintScheme
 from ..base import AbstractFilter, FilterCapabilities
 from ..exceptions import FilterFullError
-from .layout import SEQUENTIAL_BATCH_MAX, QuotientFilterCore
+from .layout import SEQUENTIAL_BATCH_MAX, QuotientFilterCore  # noqa: F401 - re-exported
 from .mapreduce import aggregate_batch
 from .point_gqf import PointGQF
 from .regions import DEFAULT_REGION_SLOTS, RegionPartition

@@ -16,7 +16,7 @@ This module holds the partitioning helpers shared by both APIs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

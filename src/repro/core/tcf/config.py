@@ -12,7 +12,7 @@ and ``B`` the block size in slots; :data:`FIGURE5_VARIANTS` lists them all.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Tuple
 
 import numpy as np

@@ -16,8 +16,6 @@ are first-order terms in the performance model.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from .memory import DeviceArray

@@ -15,9 +15,7 @@ from __future__ import annotations
 
 import contextlib
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
-
-from .device import GPUSpec
+from typing import Iterator
 from .stats import KernelStats, StatsRecorder
 from .warp import WARP_SIZE
 

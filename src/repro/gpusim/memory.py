@@ -14,7 +14,7 @@ MetaHipMer memory-accounting experiment (Table 3) reports.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 

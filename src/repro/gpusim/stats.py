@@ -13,7 +13,7 @@ functional simulation stays fast enough to run millions of operations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 from typing import Dict, Iterator
 import contextlib
 

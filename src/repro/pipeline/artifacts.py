@@ -1,0 +1,122 @@
+"""Artifact and manifest I/O for the reproduction pipeline.
+
+A pipeline run produces, per stage, one versioned JSON artifact
+(``<stage>.json``) holding the machine-readable payload, the text reports
+(``<name>.txt``) the benchmark harness has always written, and any verbatim
+extra files (e.g. ``BENCH_POINT.json``).  The run as a whole is described
+by ``manifest.json``: git SHA, preset, per-stage status/timings and the
+expectation tally — the file CI archives and ``repro check`` starts from.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+from typing import Dict, List, Optional
+
+from .stage import SCHEMA_VERSION, ExpectationResult, Stage, StageOutput
+
+#: Default artifact directory (the benchmark harness's historical home).
+DEFAULT_RESULTS_DIR = pathlib.Path("benchmarks") / "results"
+
+MANIFEST_NAME = "manifest.json"
+
+
+def git_sha(repo_dir: Optional[pathlib.Path] = None) -> str:
+    """The current git commit SHA, or ``"unknown"`` outside a checkout.
+
+    Prefers the source checkout this module lives in (the editable-install
+    / PYTHONPATH=src layout); for a site-packages install it falls back to
+    the working directory, the conventional provenance for a CLI run.
+    """
+    if repo_dir is None:
+        source_root = pathlib.Path(__file__).resolve().parents[3]
+        repo_dir = source_root if (source_root / ".git").exists() else pathlib.Path.cwd()
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=repo_dir,
+            capture_output=True, text=True, timeout=10, check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def stage_artifact_name(stage_name: str) -> str:
+    return f"{stage_name}.json"
+
+
+def write_stage_artifact(
+    results_dir: pathlib.Path,
+    stage: Stage,
+    output: StageOutput,
+    preset_name: str,
+    expectations: List[ExpectationResult],
+) -> pathlib.Path:
+    """Write one stage's JSON artifact + text reports + extra files."""
+    results_dir.mkdir(parents=True, exist_ok=True)
+    artifact = {
+        "stage": stage.name,
+        "title": stage.title,
+        "kind": stage.kind,
+        "schema_version": stage.schema_version,
+        "preset": preset_name,
+        "data": output.data,
+        "expectations": [result.as_dict() for result in expectations],
+    }
+    path = results_dir / stage_artifact_name(stage.name)
+    path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    for report_name, text in output.reports.items():
+        (results_dir / f"{report_name}.txt").write_text(text + "\n")
+    for filename, content in output.files.items():
+        (results_dir / filename).write_text(content)
+    return path
+
+
+def load_stage_artifact(results_dir: pathlib.Path, stage_name: str) -> dict:
+    """Load one stage's JSON artifact (raises ``FileNotFoundError``)."""
+    path = pathlib.Path(results_dir) / stage_artifact_name(stage_name)
+    return json.loads(path.read_text())
+
+
+def write_manifest(
+    results_dir: pathlib.Path,
+    preset_name: str,
+    stage_records: List[dict],
+    started_at: float,
+    finished_at: float,
+) -> pathlib.Path:
+    """Write ``manifest.json`` summarising one pipeline run."""
+    results_dir.mkdir(parents=True, exist_ok=True)
+    stages: Dict[str, dict] = {record["name"]: record for record in stage_records}
+    manifest = {
+        "schema_version": SCHEMA_VERSION,
+        "git_sha": git_sha(),
+        "preset": preset_name,
+        "started_at_unix": round(started_at, 3),
+        "finished_at_unix": round(finished_at, 3),
+        "duration_s": round(finished_at - started_at, 3),
+        "stages": stages,
+        "totals": {
+            "stages": len(stage_records),
+            "ok": sum(1 for r in stage_records if r["status"] == "ok"),
+            "failed": sum(1 for r in stage_records if r["status"] == "failed"),
+            "expectations_passed": sum(
+                r.get("expectations", {}).get("passed", 0) for r in stage_records
+            ),
+            "expectations_failed": sum(
+                r.get("expectations", {}).get("failed", 0) for r in stage_records
+            ),
+        },
+    }
+    path = results_dir / MANIFEST_NAME
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_manifest(results_dir: pathlib.Path) -> dict:
+    """Load ``manifest.json`` from an artifact directory."""
+    return json.loads((pathlib.Path(results_dir) / MANIFEST_NAME).read_text())

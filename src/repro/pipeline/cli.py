@@ -1,0 +1,188 @@
+"""The ``repro`` command-line interface (also ``python -m repro``).
+
+Commands
+--------
+``repro list``
+    Show every registered stage and preset.
+``repro run fig3 table2 ...``
+    Run the named stages and write artifacts + manifest.
+``repro reproduce --preset smoke|default|paper``
+    Run all 11 stages (the full paper reproduction).
+``repro check``
+    Re-evaluate every stage's paper expectations against the artifacts on
+    disk; exits non-zero if any expectation fails.  This is the gate CI
+    runs after ``repro reproduce``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+from .artifacts import DEFAULT_RESULTS_DIR, load_manifest, load_stage_artifact
+from .presets import PRESET_NAMES, PRESETS, get_preset
+from .runner import default_jobs, run_stages
+from .stage import all_stages, get_stage, stage_names
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--preset", choices=PRESET_NAMES, default="default",
+        help="scale preset (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--results-dir", type=pathlib.Path, default=DEFAULT_RESULTS_DIR,
+        help="artifact directory (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=0,
+        help="worker processes; 0 = one per stage capped at the CPU count, "
+             "1 = run in-process (default: %(default)s)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the paper's figures/tables and check its claims.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered stages and presets")
+
+    run = sub.add_parser("run", help="run specific stages")
+    run.add_argument("stages", nargs="+", metavar="STAGE",
+                     help=f"stage names (among: {', '.join(stage_names())})")
+    _add_run_options(run)
+
+    reproduce = sub.add_parser(
+        "reproduce", help="run the full reproduction (all stages)"
+    )
+    _add_run_options(reproduce)
+
+    check = sub.add_parser(
+        "check", help="evaluate the paper expectations against saved artifacts"
+    )
+    check.add_argument(
+        "--results-dir", type=pathlib.Path, default=DEFAULT_RESULTS_DIR,
+        help="artifact directory to check (default: %(default)s)",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    print("stages:")
+    for stage in all_stages():
+        expectation_count = len(stage.expectations)
+        print(f"  {stage.name:<14s} [{stage.kind:<8s}] {stage.title}"
+              f"  ({expectation_count} expectation{'s' if expectation_count != 1 else ''})")
+    print("\npresets:")
+    for preset in PRESETS.values():
+        print(f"  {preset.name:<10s} sim_lg={preset.sim_lg:<3d} "
+              f"n_queries={preset.n_queries:<5d} {preset.description}")
+    return 0
+
+
+def _cmd_run(names: List[str], preset_name: str,
+             results_dir: pathlib.Path, jobs: int) -> int:
+    # Resolve every name up front so typos fail before any stage runs.
+    try:
+        for name in names:
+            get_stage(name)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    preset = get_preset(preset_name)
+    if jobs <= 0:
+        jobs = default_jobs(len(names))
+    manifest = run_stages(names, preset, results_dir, jobs=jobs, progress=print)
+    totals = manifest["totals"]
+    print(
+        f"\n{totals['ok']}/{totals['stages']} stages ok, "
+        f"{totals['expectations_passed']} expectations passed, "
+        f"{totals['expectations_failed']} failed "
+        f"({manifest['duration_s']:.1f}s; preset {manifest['preset']}, "
+        f"git {manifest['git_sha'][:12]})"
+    )
+    print(f"artifacts: {results_dir}/manifest.json")
+    if totals["failed"]:
+        for record in manifest["stages"].values():
+            if record["status"] == "failed":
+                print(f"\nstage {record['name']} failed:\n{record.get('error', '')}",
+                      file=sys.stderr)
+        return 1
+    # A completed run with violated paper expectations is still a failure
+    # (`repro check` reprints the details from the artifacts).
+    return 1 if totals["expectations_failed"] else 0
+
+
+def _cmd_check(results_dir: pathlib.Path) -> int:
+    try:
+        manifest = load_manifest(results_dir)
+    except FileNotFoundError:
+        print(f"no manifest.json under {results_dir}; run "
+              f"`repro reproduce` first", file=sys.stderr)
+        return 2
+    print(f"checking artifacts in {results_dir} "
+          f"(preset {manifest['preset']}, git {manifest['git_sha'][:12]})")
+    n_passed = n_failed = n_missing = 0
+    # Gate every registered stage — not just whatever the last (possibly
+    # partial `repro run`) manifest covered — so a full `repro check` always
+    # means the whole reproduction holds.
+    for stage in all_stages():
+        name = stage.name
+        record = manifest["stages"].get(name)
+        if record is None:
+            # An artifact may exist from an older run, but this manifest's
+            # run did not produce it — mixed provenance is not a pass.
+            print(f"  {name:<14s} MISSING from the recorded run (re-run "
+                  f"`repro reproduce`)")
+            n_missing += 1
+            continue
+        if record["status"] != "ok":
+            # A stale artifact from an earlier run may still exist; don't
+            # evaluate it as if the failed stage had produced it.
+            print(f"  {name:<14s} SKIPPED (stage failed during the run)")
+            n_missing += 1
+            continue
+        try:
+            artifact = load_stage_artifact(results_dir, name)
+        except FileNotFoundError:
+            print(f"  {name:<14s} MISSING artifact {name}.json")
+            n_missing += 1
+            continue
+        if artifact.get("preset") != manifest["preset"]:
+            print(f"  {name:<14s} STALE artifact (preset "
+                  f"{artifact.get('preset')!r} vs run {manifest['preset']!r})")
+            n_missing += 1
+            continue
+        for result in stage.evaluate(artifact["data"]):
+            status = "ok  " if result.passed else "FAIL"
+            detail = result.detail or result.description
+            print(f"  {status} {name:<12s} {result.expectation_id:<34s} {detail}")
+            if result.passed:
+                n_passed += 1
+            else:
+                n_failed += 1
+    print(f"\n{n_passed} expectation(s) hold, {n_failed} failed, "
+          f"{n_missing} stage(s) unavailable")
+    return 0 if n_failed == 0 and n_missing == 0 else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.stages, args.preset, args.results_dir, args.jobs)
+    if args.command == "reproduce":
+        return _cmd_run(stage_names(), args.preset, args.results_dir, args.jobs)
+    if args.command == "check":
+        return _cmd_check(args.results_dir)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,163 @@
+"""Stage execution: sequential or parallel across processes.
+
+Stages are independent of each other (each builds its own filters and
+recorders), so the runner fans them out over a ``ProcessPoolExecutor``
+keyed by *name* — the worker re-resolves the stage from the registry, which
+keeps the submitted payload picklable and works under both ``fork`` and
+``spawn`` start methods.  Results stream back as stages finish; artifacts
+are written incrementally and the manifest last, so a crashed run still
+leaves the completed stages' artifacts on disk.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .artifacts import stage_artifact_name, write_manifest, write_stage_artifact
+from .presets import Preset, get_preset
+from .stage import ExpectationResult, get_stage
+
+
+def execute_stage(stage_name: str, preset: "Preset | str") -> dict:
+    """Run one stage end to end; never raises (failures are recorded).
+
+    ``preset`` may be a :class:`Preset` (honouring any ``.scaled()``
+    overrides — the frozen dataclass pickles across the pool boundary) or a
+    registered preset name.  Returns a picklable record: status, duration,
+    payload, reports, files and evaluated expectations (or the formatted
+    traceback on failure).  This is the process-pool worker, so it must
+    stay module-level.
+    """
+    stage = get_stage(stage_name)
+    if isinstance(preset, str):
+        preset = get_preset(preset)
+    record: dict = {
+        "name": stage.name,
+        "title": stage.title,
+        "kind": stage.kind,
+        "artifact": stage_artifact_name(stage.name),
+    }
+    start = time.perf_counter()
+    try:
+        output = stage.run(preset)
+    except Exception:  # noqa: BLE001 - reported through the manifest
+        record.update(
+            status="failed",
+            duration_s=round(time.perf_counter() - start, 3),
+            error=traceback.format_exc(),
+        )
+        return record
+    results = stage.evaluate(output.data)
+    record.update(
+        status="ok",
+        duration_s=round(time.perf_counter() - start, 3),
+        reports=sorted(output.reports),
+        expectations={
+            "passed": sum(1 for r in results if r.passed),
+            "failed": sum(1 for r in results if not r.passed),
+            "results": [r.as_dict() for r in results],
+        },
+        _output_data=output.data,
+        _output_reports=output.reports,
+        _output_files=output.files,
+    )
+    return record
+
+
+def _pop_private(record: dict):
+    """Split a worker record into (manifest record, run products)."""
+    data = record.pop("_output_data", None)
+    reports = record.pop("_output_reports", None)
+    files = record.pop("_output_files", None)
+    results = [
+        ExpectationResult(r["id"], r["description"], r["passed"], r["detail"])
+        for r in record.get("expectations", {}).get("results", [])
+    ]
+    return record, data, reports, files, results
+
+
+def default_jobs(n_stages: int) -> int:
+    """Default process count: one per stage, capped by the CPU count."""
+    return max(1, min(n_stages, os.cpu_count() or 1))
+
+
+def run_stages(
+    stage_names: Sequence[str],
+    preset: Preset,
+    results_dir: pathlib.Path,
+    jobs: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict:
+    """Run the named stages, write artifacts + manifest, return the manifest.
+
+    ``jobs > 1`` fans the stages out across processes.  Stage failures do
+    not abort the run; they are recorded with status ``"failed"`` in the
+    manifest (the CLI turns them into a non-zero exit).
+    """
+    from .stage import StageOutput  # local import: keep module load light
+
+    results_dir = pathlib.Path(results_dir)
+    notify = progress or (lambda message: None)
+    started_at = time.time()
+    records: Dict[str, dict] = {}
+
+    def finish(worker_record: dict) -> None:
+        record, data, reports, files, results = _pop_private(worker_record)
+        if record["status"] == "ok":
+            stage = get_stage(record["name"])
+            write_stage_artifact(
+                results_dir, stage,
+                StageOutput(data=data, reports=reports or {}, files=files or {}),
+                preset.name, results or [],
+            )
+            failed = record["expectations"]["failed"]
+            verdict = "all expectations hold" if not failed else f"{failed} expectation(s) FAILED"
+            notify(f"  {record['name']:<14s} ok in {record['duration_s']:6.2f}s — {verdict}")
+        else:
+            notify(f"  {record['name']:<14s} FAILED in {record['duration_s']:6.2f}s")
+        records[record["name"]] = record
+
+    names = list(stage_names)
+    # Wall-clock-sensitive stages (Stage.serial) run after the pool drains,
+    # so their timings are not contended by sibling stages.
+    pooled = [name for name in names if not get_stage(name).serial]
+    drained = [name for name in names if get_stage(name).serial]
+    if jobs <= 1 or len(pooled) <= 1:
+        for name in names:
+            notify(f"running {name} (preset {preset.name})...")
+            finish(execute_stage(name, preset))
+    else:
+        notify(f"running {len(pooled)} stages on {jobs} processes (preset {preset.name})...")
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            pending = {pool.submit(execute_stage, name, preset): name
+                       for name in pooled}
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    name = pending.pop(future)
+                    try:
+                        finish(future.result())
+                    except Exception:  # noqa: BLE001 - worker died hard
+                        finish({
+                            "name": name,
+                            "title": get_stage(name).title,
+                            "kind": get_stage(name).kind,
+                            "artifact": stage_artifact_name(name),
+                            "status": "failed",
+                            "duration_s": 0.0,
+                            "error": traceback.format_exc(),
+                        })
+        for name in drained:
+            notify(f"running {name} (preset {preset.name}, uncontended)...")
+            finish(execute_stage(name, preset))
+
+    ordered: List[dict] = [records[name] for name in names if name in records]
+    write_manifest(results_dir, preset.name, ordered, started_at, time.time())
+    from .artifacts import load_manifest
+
+    return load_manifest(results_dir)

@@ -1,0 +1,147 @@
+"""Stage and expectation primitives plus the stage registry.
+
+A **stage** regenerates one figure or table of the paper: it has a name
+(``fig3``, ``table2``, ...), a run function that takes a
+:class:`~repro.pipeline.presets.Preset` and returns a
+:class:`StageOutput` (a JSON-serialisable payload plus the formatted text
+reports), and a tuple of **expectations** — qualitative claims lifted from
+the paper that are evaluated against the payload.  Because expectations
+read only the payload, ``repro check`` can re-evaluate them against
+artifacts loaded from disk, long after the run that produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple, Union
+
+from .presets import Preset
+
+#: Version stamped into every JSON artifact; bump on payload-shape changes.
+SCHEMA_VERSION = 1
+
+#: An expectation check returns either a bare bool or ``(ok, detail)``.
+CheckResult = Union[bool, Tuple[bool, str]]
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """One qualitative claim from the paper, checkable against a payload."""
+
+    id: str
+    description: str
+    check: Callable[[dict], CheckResult]
+
+    def evaluate(self, data: dict) -> "ExpectationResult":
+        try:
+            outcome = self.check(data)
+        except Exception as exc:  # noqa: BLE001 - surfaced as a failure
+            return ExpectationResult(self.id, self.description, False,
+                                     f"check raised {type(exc).__name__}: {exc}")
+        if isinstance(outcome, tuple):
+            ok, detail = outcome
+            return ExpectationResult(self.id, self.description, bool(ok), detail)
+        return ExpectationResult(self.id, self.description, bool(outcome), "")
+
+
+@dataclass(frozen=True)
+class ExpectationResult:
+    """Outcome of evaluating one expectation."""
+
+    expectation_id: str
+    description: str
+    passed: bool
+    detail: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "id": self.expectation_id,
+            "description": self.description,
+            "passed": self.passed,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class StageOutput:
+    """What a stage run produces.
+
+    ``data`` is the JSON-serialisable payload the expectations read;
+    ``reports`` maps report names to formatted text (written as
+    ``<name>.txt``); ``files`` maps verbatim extra artifact filenames to
+    their content (e.g. the ``BENCH_POINT.json`` perf-trajectory file).
+    """
+
+    data: dict
+    reports: Dict[str, str] = field(default_factory=dict)
+    files: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Stage:
+    """A registered figure/table reproduction stage."""
+
+    name: str
+    title: str
+    kind: str  # "figure" | "table" | "ablation" | "timing"
+    description: str
+    run: Callable[[Preset], StageOutput]
+    expectations: Tuple[Expectation, ...] = ()
+    schema_version: int = SCHEMA_VERSION
+    #: Wall-clock-sensitive stages run after the process pool drains, so
+    #: their measurements are not contended by sibling stages.
+    serial: bool = False
+
+    def evaluate(self, data: dict) -> List[ExpectationResult]:
+        """Evaluate every declared expectation against a payload."""
+        return [expectation.evaluate(data) for expectation in self.expectations]
+
+
+# --------------------------------------------------------------------------
+# registry
+# --------------------------------------------------------------------------
+_REGISTRY: Dict[str, Stage] = {}
+_LOADED = False
+
+
+def register_stage(stage: Stage) -> Stage:
+    """Add a stage to the registry (name collisions are an error)."""
+    if stage.name in _REGISTRY:
+        raise ValueError(f"stage {stage.name!r} is already registered")
+    _REGISTRY[stage.name] = stage
+    return stage
+
+
+def get_stage(name: str) -> Stage:
+    """Look a stage up by name (raises ``KeyError`` listing the registry)."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown stage {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def stage_names() -> List[str]:
+    """Registered stage names, in registration (paper) order."""
+    _ensure_loaded()
+    return list(_REGISTRY)
+
+
+def all_stages() -> List[Stage]:
+    """Every registered stage, in registration (paper) order."""
+    _ensure_loaded()
+    return list(_REGISTRY.values())
+
+
+def _ensure_loaded() -> None:
+    """Populate the registry from the stage definitions module.
+
+    Guarded by an explicit flag (not registry emptiness) so a consumer
+    registering a custom stage first cannot suppress the built-in load.
+    """
+    global _LOADED
+    if not _LOADED:
+        _LOADED = True
+        from . import stages  # noqa: F401 - importing registers the stages

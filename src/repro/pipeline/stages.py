@@ -1,0 +1,1153 @@
+"""The 11 registered reproduction stages (Figures 3-6, Tables 1-5,
+ablations, point-path wall-clock timing).
+
+Each stage wraps one driver from :mod:`repro.analysis` / :mod:`repro.apps`:
+its run function executes the functional simulation + perf model at the
+preset's scale and returns a JSON-serialisable payload plus the formatted
+text reports the ``benchmarks/`` harness has always written.  The
+expectations attached to every stage are the paper's qualitative claims
+(previously inline ``assert``\\ s in the benchmark scripts); they read only
+the payload, so ``repro check`` can re-evaluate them against artifacts
+loaded from disk.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..analysis import figures, tables
+from ..analysis.api_matrix import PAPER_TABLE1, TABLE1_COLUMNS, build_api_matrix
+from ..analysis.fpr import run_table2
+from ..analysis.reporting import (
+    format_boolean_matrix,
+    format_dict_rows,
+    format_figure_series,
+    format_table,
+)
+from ..analysis.throughput import (
+    PHASE_DELETE,
+    PHASE_INSERT,
+    PHASE_POSITIVE,
+    PHASE_RANDOM,
+    BenchmarkPoint,
+)
+from ..apps.kmer_counter import GPUKmerCounter
+from ..apps.metahipmer import KmerAnalysisPhase, memory_reduction, run_table3
+from ..core.exceptions import FilterFullError
+from ..core.gqf import BulkGQF, PointGQF, QuotientFilterCore
+from ..core.tcf import FIGURE5_CG_SIZES, FIGURE5_VARIANTS, PointTCF, TCFConfig
+from ..gpusim.device import A100, V100
+from ..gpusim.stats import StatsRecorder
+from ..hashing.fingerprints import FingerprintScheme
+from ..hashing.xorwow import generate_keys
+from ..workloads import kmer as kmer_mod
+from ..workloads.generators import zipfian_count_dataset
+from .presets import Preset
+from .stage import Expectation, Stage, StageOutput, register_stage
+
+#: The size sweep shared by Figures 3, 4 and 6.
+SWEEP_SIZES = figures.PAPER_SIZE_SWEEP
+
+
+# --------------------------------------------------------------------------
+# payload helpers
+# --------------------------------------------------------------------------
+def point_to_dict(point: BenchmarkPoint) -> dict:
+    """Serialise one :class:`BenchmarkPoint` into the artifact payload."""
+    return {
+        "filter_key": point.filter_key,
+        "display_name": point.display_name,
+        "device": point.device,
+        "lg_capacity": point.lg_capacity,
+        "throughput_bops": {
+            phase: estimate.throughput_bops
+            for phase, estimate in point.estimates.items()
+        },
+        "meta": {key: float(value) for key, value in point.meta.items()},
+    }
+
+
+def _series_to_dict(results: Dict[str, List[BenchmarkPoint]]) -> dict:
+    return {key: [point_to_dict(p) for p in series] for key, series in results.items()}
+
+
+def _points_by_size(data: dict, system: str, filter_key: str) -> Dict[int, dict]:
+    return {p["lg_capacity"]: p for p in data["series"][system][filter_key]}
+
+
+def _bops(point: dict, phase: str) -> float:
+    return float(point["throughput_bops"].get(phase, 0.0))
+
+
+# --------------------------------------------------------------------------
+# Figure 3: point-API throughput vs filter size
+# --------------------------------------------------------------------------
+_FIG3_PHASES = (
+    (PHASE_INSERT, "Point Inserts"),
+    (PHASE_POSITIVE, "Point Positive Queries"),
+    (PHASE_RANDOM, "Point Random Queries"),
+)
+
+
+def _run_fig3(preset: Preset) -> StageOutput:
+    series: Dict[str, dict] = {}
+    reports: Dict[str, str] = {}
+    for device in (V100, A100):
+        results = figures.figure3_point_api(
+            device, SWEEP_SIZES, sim_lg=preset.sim_lg, n_queries=preset.n_queries
+        )
+        series[device.system] = _series_to_dict(results)
+        system = device.system.capitalize()
+        sections = [
+            format_figure_series(results, phase, f"Figure 3 ({system}): {title}")
+            for phase, title in _FIG3_PHASES
+        ]
+        reports[f"figure3_point_api_{device.system}"] = "\n\n".join(sections)
+    return StageOutput(data={"series": series, "sizes": list(SWEEP_SIZES)}, reports=reports)
+
+
+def _fig3_tcf_insert_beats_gqf(data: dict) -> Tuple[bool, str]:
+    for system in data["series"]:
+        tcf = _points_by_size(data, system, "tcf")
+        gqf = _points_by_size(data, system, "gqf")
+        for lg in tcf:
+            if not _bops(tcf[lg], PHASE_INSERT) > _bops(gqf[lg], PHASE_INSERT):
+                return False, f"{system} 2^{lg}: TCF inserts do not beat the GQF"
+    return True, "TCF point inserts beat the GQF at every size on both GPUs"
+
+
+def _fig3_tcf_positive_vs_gqf(data: dict) -> Tuple[bool, str]:
+    for system in data["series"]:
+        tcf = _points_by_size(data, system, "tcf")
+        gqf = _points_by_size(data, system, "gqf")
+        for lg in tcf:
+            tcf_bops = _bops(tcf[lg], PHASE_POSITIVE)
+            gqf_bops = _bops(gqf[lg], PHASE_POSITIVE)
+            # At 2^22 the GQF still fits in L2 while the TCF does not, so
+            # only parity is required there (paper Section 6.1).
+            threshold = gqf_bops if lg >= 24 else 0.9 * gqf_bops
+            if not tcf_bops > threshold:
+                return False, (
+                    f"{system} 2^{lg}: TCF positive queries {tcf_bops:.3f} B/s "
+                    f"vs GQF {gqf_bops:.3f} B/s"
+                )
+    return True, "TCF positive queries beat the GQF beyond the L2-resident sizes"
+
+
+def _fig3_gqf_beats_bloom(data: dict) -> Tuple[bool, str]:
+    for system in data["series"]:
+        gqf = _points_by_size(data, system, "gqf")
+        bf = _points_by_size(data, system, "bf")
+        for lg in gqf:
+            if not _bops(gqf[lg], PHASE_POSITIVE) > _bops(bf[lg], PHASE_POSITIVE):
+                return False, f"{system} 2^{lg}: GQF positive queries do not beat the BF"
+    return True, "GQF positive queries beat the Bloom filter (paper: 2.4x)"
+
+
+def _fig3_bf_early_exit(data: dict) -> Tuple[bool, str]:
+    for system in data["series"]:
+        bf = _points_by_size(data, system, "bf")
+        for lg in bf:
+            if not _bops(bf[lg], PHASE_RANDOM) > _bops(bf[lg], PHASE_POSITIVE):
+                return False, f"{system} 2^{lg}: BF negative queries not faster than positive"
+    return True, "BF negative queries terminate early and beat its positive queries"
+
+
+def _fig3_bbf_fastest(data: dict) -> Tuple[bool, str]:
+    for system in data["series"]:
+        bbf = _points_by_size(data, system, "bbf")
+        tcf = _points_by_size(data, system, "tcf")
+        for lg in bbf:
+            if not _bops(bbf[lg], PHASE_POSITIVE) >= 0.9 * _bops(tcf[lg], PHASE_POSITIVE):
+                return False, f"{system} 2^{lg}: BBF is not the fastest overall"
+    return True, "the BBF (no deletes/counts) is the fastest filter overall"
+
+
+def _fig3_bf_l2_outlier(data: dict) -> Tuple[bool, str]:
+    bf = _points_by_size(data, "cori", "bf")
+    small = _bops(bf[22], PHASE_POSITIVE)
+    large = _bops(bf[26], PHASE_POSITIVE)
+    if not small > 1.5 * large:
+        return False, f"V100 BF positive queries 2^22={small:.3f} vs 2^26={large:.3f} B/s"
+    return True, "the BF L2-residency outlier appears at 2^22 on the V100 and is gone by 2^26"
+
+
+register_stage(Stage(
+    name="fig3",
+    title="Figure 3: point-API throughput vs filter size (Cori + Perlmutter)",
+    kind="figure",
+    description="Point insert/positive/random throughput of the TCF, GQF, "
+                "BF and BBF across 2^22..2^30 on the V100 and A100.",
+    run=_run_fig3,
+    expectations=(
+        Expectation("tcf-insert-beats-gqf",
+                    "TCF point inserts beat the GQF at every size",
+                    _fig3_tcf_insert_beats_gqf),
+        Expectation("tcf-positive-beats-gqf-at-scale",
+                    "TCF positive queries beat the GQF beyond L2-resident sizes",
+                    _fig3_tcf_positive_vs_gqf),
+        Expectation("gqf-positive-beats-bf",
+                    "GQF positive queries beat the Bloom filter",
+                    _fig3_gqf_beats_bloom),
+        Expectation("bf-negative-early-exit",
+                    "BF negative queries beat its positive queries",
+                    _fig3_bf_early_exit),
+        Expectation("bbf-fastest-overall",
+                    "the blocked Bloom filter is the fastest filter overall",
+                    _fig3_bbf_fastest),
+        Expectation("bf-l2-outlier-v100",
+                    "the BF/BBF L2-residency outlier at 2^22 on the V100",
+                    _fig3_bf_l2_outlier),
+    ),
+))
+
+
+# --------------------------------------------------------------------------
+# Figure 4: bulk-API throughput vs filter size
+# --------------------------------------------------------------------------
+_FIG4_PHASES = (
+    (PHASE_INSERT, "Bulk Inserts"),
+    (PHASE_POSITIVE, "Bulk Positive Queries"),
+    (PHASE_RANDOM, "Bulk Random Queries"),
+)
+
+
+def _run_fig4(preset: Preset) -> StageOutput:
+    series: Dict[str, dict] = {}
+    reports: Dict[str, str] = {}
+    for device in (V100, A100):
+        results = figures.figure4_bulk_api(
+            device, SWEEP_SIZES, sim_lg=preset.sim_lg, n_queries=preset.n_queries
+        )
+        series[device.system] = _series_to_dict(results)
+        system = device.system.capitalize()
+        sections = [
+            format_figure_series(results, phase, f"Figure 4 ({system}): {title}")
+            for phase, title in _FIG4_PHASES
+        ]
+        reports[f"figure4_bulk_api_{device.system}"] = "\n\n".join(sections)
+    return StageOutput(data={"series": series, "sizes": list(SWEEP_SIZES)}, reports=reports)
+
+
+def _fig4_capacity_truncation(data: dict) -> Tuple[bool, str]:
+    for system in data["series"]:
+        for key in ("sqf", "rsqf"):
+            sizes = _points_by_size(data, system, key)
+            if max(sizes) != 26:
+                return False, f"{system} {key} series does not stop at 2^26"
+    return True, "the SQF/RSQF series stop at their 2^26 implementation limit"
+
+
+def _fig4_bulk_tcf_fastest(data: dict) -> Tuple[bool, str]:
+    for system in data["series"]:
+        tcf = _points_by_size(data, system, "bulk-tcf")
+        gqf = _points_by_size(data, system, "bulk-gqf")
+        sqf = _points_by_size(data, system, "sqf")
+        for lg in tcf:
+            tcf_bops = _bops(tcf[lg], PHASE_INSERT)
+            if not tcf_bops > _bops(gqf[lg], PHASE_INSERT):
+                return False, f"{system} 2^{lg}: bulk TCF inserts do not beat the bulk GQF"
+            if lg in sqf and not tcf_bops > _bops(sqf[lg], PHASE_INSERT):
+                return False, f"{system} 2^{lg}: bulk TCF inserts do not beat the SQF"
+    return True, "the bulk TCF is the fastest inserter at every size"
+
+
+def _fig4_rsqf_inserts_slow(data: dict) -> Tuple[bool, str]:
+    for system in data["series"]:
+        sqf = _points_by_size(data, system, "sqf")
+        rsqf = _points_by_size(data, system, "rsqf")
+        for lg in rsqf:
+            if not _bops(rsqf[lg], PHASE_INSERT) < 0.1 * _bops(sqf[lg], PHASE_INSERT):
+                return False, f"{system} 2^{lg}: RSQF inserts are not orders of magnitude slower"
+    return True, "RSQF inserts are orders of magnitude slower than the rest"
+
+
+def _fig4_gqf_scales(data: dict) -> Tuple[bool, str]:
+    for system in data["series"]:
+        gqf = _points_by_size(data, system, "bulk-gqf")
+        sizes = sorted(gqf)
+        if not _bops(gqf[sizes[-1]], PHASE_INSERT) > _bops(gqf[sizes[0]], PHASE_INSERT):
+            return False, f"{system}: bulk-GQF insert throughput does not grow with size"
+    return True, "bulk-GQF insert throughput grows with the filter size"
+
+
+def _fig4_a100_headline(data: dict) -> Tuple[bool, str]:
+    tcf = _points_by_size(data, "perlmutter", "bulk-tcf")
+    bops = _bops(tcf[30], PHASE_INSERT)
+    if not bops > 2.0:
+        return False, f"A100 bulk-TCF inserts at 2^30 reach only {bops:.2f} B/s"
+    return True, f"A100 bulk-TCF inserts reach {bops:.2f} B/s (paper headline: 3.4 B/s)"
+
+
+register_stage(Stage(
+    name="fig4",
+    title="Figure 4: bulk-API throughput vs filter size (Cori + Perlmutter)",
+    kind="figure",
+    description="Bulk insert/positive/random throughput of the bulk TCF, "
+                "bulk GQF, SQF and RSQF; the SQF/RSQF curves truncate at 2^26.",
+    run=_run_fig4,
+    expectations=(
+        Expectation("sqf-rsqf-capacity-limit",
+                    "the SQF/RSQF series stop at 2^26",
+                    _fig4_capacity_truncation),
+        Expectation("bulk-tcf-fastest-insert",
+                    "the bulk TCF beats every other filter on inserts",
+                    _fig4_bulk_tcf_fastest),
+        Expectation("rsqf-insert-slow",
+                    "RSQF inserts are orders of magnitude slower",
+                    _fig4_rsqf_inserts_slow),
+        Expectation("bulk-gqf-insert-scales",
+                    "bulk-GQF insert throughput grows with filter size",
+                    _fig4_gqf_scales),
+        Expectation("a100-multi-billion-inserts",
+                    "A100 bulk-TCF inserts exceed 2 B/s at 2^30",
+                    _fig4_a100_headline),
+    ),
+))
+
+
+# --------------------------------------------------------------------------
+# Figure 5: cooperative-group-size sweep
+# --------------------------------------------------------------------------
+_FIG5_LG_CAPACITY = 28
+_FIG5_PHASES = (
+    (PHASE_INSERT, "Inserts"),
+    (PHASE_POSITIVE, "Positive Queries"),
+    (PHASE_RANDOM, "Random Queries"),
+)
+
+
+def _run_fig5(preset: Preset) -> StageOutput:
+    results = figures.figure5_cg_sweep(
+        device=V100,
+        lg_capacity=_FIG5_LG_CAPACITY,
+        variants=FIGURE5_VARIANTS,
+        cg_sizes=FIGURE5_CG_SIZES,
+        sim_lg=preset.fig5_sim_lg,
+        n_queries=preset.fig5_n_queries,
+    )
+    sections = []
+    for phase, title in _FIG5_PHASES:
+        headers = ["CG size"] + list(results.keys())
+        rows = []
+        for cg in FIGURE5_CG_SIZES:
+            rows.append([cg] + [results[label][cg].throughput_bops(phase)
+                                for label in results])
+        sections.append(format_table(
+            headers, rows,
+            title=f"Figure 5: {title} at 2^{_FIG5_LG_CAPACITY} [B ops/s]",
+        ))
+    best = figures.figure5_optimal_cg(results, PHASE_INSERT)
+    sections.append(format_table(
+        ["variant", "best CG size (inserts)"],
+        [[label, cg] for label, cg in best.items()],
+        title="Figure 5: optimal cooperative-group size per variant",
+    ))
+    data = {
+        "lg_capacity": _FIG5_LG_CAPACITY,
+        "cg_sizes": list(FIGURE5_CG_SIZES),
+        "results": {
+            label: {str(cg): point_to_dict(point) for cg, point in per_cg.items()}
+            for label, per_cg in results.items()
+        },
+        "optimal_cg": {label: int(cg) for label, cg in best.items()},
+    }
+    return StageOutput(data=data, reports={"figure5_cg_sweep": "\n\n".join(sections)})
+
+
+def _fig5_optimal_cg_intermediate(data: dict) -> Tuple[bool, str]:
+    for label, cg in data["optimal_cg"].items():
+        if cg not in (1, 2, 4, 8, 16):
+            return False, f"variant {label}: optimal CG size {cg} is the 32-lane extreme"
+    return True, "an intermediate cooperative-group size wins for every variant"
+
+
+def _fig5_aligned_variants_win(data: dict) -> Tuple[bool, str]:
+    for cg in data["cg_sizes"]:
+        aligned = _bops(data["results"]["16-16"][str(cg)], PHASE_INSERT)
+        straddling = _bops(data["results"]["12-16"][str(cg)], PHASE_INSERT)
+        if not aligned >= straddling:
+            return False, f"CG {cg}: 16-16 inserts {aligned:.3f} < 12-16 {straddling:.3f} B/s"
+    return True, "word-aligned 16-bit variants beat the CAS-straddling 12-bit ones"
+
+
+register_stage(Stage(
+    name="fig5",
+    title="Figure 5: TCF throughput vs cooperative-group size",
+    kind="figure",
+    description="Sweeps CG sizes 1..32 over seven TCF variants at 2^28; "
+                "an intermediate CG size is optimal (paper: 4 for most).",
+    run=_run_fig5,
+    expectations=(
+        Expectation("optimal-cg-intermediate",
+                    "the optimal CG size is never the 32-lane extreme",
+                    _fig5_optimal_cg_intermediate),
+        Expectation("aligned-variants-beat-straddling",
+                    "16-bit word-aligned variants beat 12-bit straddling ones",
+                    _fig5_aligned_variants_win),
+    ),
+))
+
+
+# --------------------------------------------------------------------------
+# Figure 6: deletion throughput
+# --------------------------------------------------------------------------
+def _run_fig6(preset: Preset) -> StageOutput:
+    results = figures.figure6_deletions(
+        device=V100, lg_capacities=SWEEP_SIZES,
+        sim_lg=preset.sim_lg, n_queries=preset.n_queries,
+    )
+    text = format_figure_series(
+        results, PHASE_DELETE, "Figure 6: Deletion throughput (Cori)",
+        unit="M ops/s", scale=1e-6,
+    )
+    data = {"series": {"cori": _series_to_dict(results)}, "sizes": list(SWEEP_SIZES)}
+    return StageOutput(data=data, reports={"figure6_deletions": text})
+
+
+def _fig6_sqf_truncated(data: dict) -> Tuple[bool, str]:
+    sqf = _points_by_size(data, "cori", "sqf")
+    if max(sqf) != 26:
+        return False, "the SQF series does not stop at 2^26"
+    return True, "the SQF deletion series stops at its 2^26 capacity limit"
+
+
+def _fig6_tcf_deletes_10x(data: dict) -> Tuple[bool, str]:
+    tcf = _points_by_size(data, "cori", "tcf")
+    gqf = _points_by_size(data, "cori", "bulk-gqf")
+    for lg in tcf:
+        if not _bops(tcf[lg], PHASE_DELETE) > 10 * _bops(gqf[lg], PHASE_DELETE):
+            return False, f"2^{lg}: TCF deletes are not 10x the GQF's"
+    return True, "TCF single-CAS deletes are over 10x faster than the GQF's"
+
+
+def _fig6_gqf_beats_sqf(data: dict) -> Tuple[bool, str]:
+    gqf = _points_by_size(data, "cori", "bulk-gqf")
+    sqf = _points_by_size(data, "cori", "sqf")
+    for lg in sqf:
+        gqf_bops = _bops(gqf[lg], PHASE_DELETE)
+        sqf_bops = _bops(sqf[lg], PHASE_DELETE)
+        if not gqf_bops > sqf_bops:
+            return False, f"2^{lg}: GQF deletes do not beat the SQF"
+        if lg >= 24 and not gqf_bops > 3 * sqf_bops:
+            return False, f"2^{lg}: the GQF/SQF deletion gap does not widen with size"
+    return True, "GQF even-odd deletes beat the SQF everywhere, widening with size"
+
+
+register_stage(Stage(
+    name="fig6",
+    title="Figure 6: deletion throughput (Cori)",
+    kind="figure",
+    description="Deletion throughput of the bulk GQF, SQF and point TCF; "
+                "the TCF's single-CAS deletes dominate.",
+    run=_run_fig6,
+    expectations=(
+        Expectation("sqf-capacity-limit",
+                    "the SQF series stops at 2^26",
+                    _fig6_sqf_truncated),
+        Expectation("tcf-deletes-order-of-magnitude",
+                    "TCF deletes are over 10x faster than the GQF's",
+                    _fig6_tcf_deletes_10x),
+        Expectation("gqf-deletes-beat-sqf",
+                    "GQF deletes beat the SQF, widening with filter size",
+                    _fig6_gqf_beats_sqf),
+    ),
+))
+
+
+# --------------------------------------------------------------------------
+# Table 1: API capability matrix
+# --------------------------------------------------------------------------
+def _run_table1(preset: Preset) -> StageOutput:
+    matrix = build_api_matrix()
+    text = format_boolean_matrix(
+        matrix, TABLE1_COLUMNS, "Table 1: API supported by various filters"
+    )
+    data = {"matrix": matrix, "paper": PAPER_TABLE1, "columns": list(TABLE1_COLUMNS)}
+    return StageOutput(data=data, reports={"table1_api_matrix": text})
+
+
+def _table1_matches_paper(data: dict) -> Tuple[bool, str]:
+    mismatches = []
+    for name, row in data["paper"].items():
+        measured = data["matrix"].get(name)
+        if measured != row:
+            mismatches.append(name)
+    if set(data["matrix"]) != set(data["paper"]):
+        mismatches.append("<row set>")
+    if mismatches:
+        return False, f"capability rows differ from the paper: {', '.join(mismatches)}"
+    return True, "the introspected capability matrix matches the paper's Table 1 exactly"
+
+
+register_stage(Stage(
+    name="table1",
+    title="Table 1: API supported by various filters",
+    kind="table",
+    description="Capability matrix generated by introspecting every filter "
+                "class; must match the paper's Table 1 exactly.",
+    run=_run_table1,
+    expectations=(
+        Expectation("matrix-matches-paper",
+                    "the generated matrix equals the paper's Table 1",
+                    _table1_matches_paper),
+    ),
+))
+
+
+# --------------------------------------------------------------------------
+# Table 2: false-positive rate and bits per item
+# --------------------------------------------------------------------------
+def _run_table2(preset: Preset) -> StageOutput:
+    rows = run_table2(
+        lg_capacity=preset.fpr_lg_capacity, n_negative=preset.fpr_n_negative
+    )
+    text = format_dict_rows(
+        rows,
+        ["filter", "fp_rate_percent", "bits_per_item",
+         "paper_fp_percent", "paper_bits_per_item"],
+        "Table 2: measured FP rate (%) and bits per item vs paper",
+    )
+    return StageOutput(data={"rows": rows}, reports={"table2_fpr_bpi": text})
+
+
+def _table2_rows(data: dict) -> Dict[str, dict]:
+    return {row["filter"]: row for row in data["rows"]}
+
+
+def _table2_sqf_fp(data: dict) -> Tuple[bool, str]:
+    rows = _table2_rows(data)
+    sqf, gqf = rows["SQF"]["fp_rate_percent"], rows["GQF"]["fp_rate_percent"]
+    if not sqf > 3 * gqf:
+        return False, f"SQF FP rate {sqf:.3f}% is not ~10x the GQF's {gqf:.3f}%"
+    return True, "5-bit-remainder filters (SQF/RSQF) have ~10x the GQF's FP rate"
+
+
+def _table2_tcf_space(data: dict) -> Tuple[bool, str]:
+    rows = _table2_rows(data)
+    gqf_bpi = rows["GQF"]["bits_per_item"]
+    for name in ("TCF", "Bulk TCF"):
+        if not rows[name]["bits_per_item"] > gqf_bpi:
+            return False, f"{name} bits/item do not exceed the GQF's"
+    return True, "the TCF family trades space for speed (more bits/item than the GQF)"
+
+
+def _table2_bbf_accuracy_tradeoff(data: dict) -> Tuple[bool, str]:
+    rows = _table2_rows(data)
+    bbf, bf = rows["BBF"], rows["BF"]
+    if not bbf["fp_rate_percent"] > bf["fp_rate_percent"]:
+        return False, "the blocked Bloom filter's FP rate does not exceed the BF's"
+    if not abs(bbf["bits_per_item"] - bf["bits_per_item"]) <= 0.2 * bf["bits_per_item"]:
+        return False, "BBF and BF bits/item diverge; the FP comparison is not like-for-like"
+    return True, (
+        f"one-line blocking costs accuracy: BBF FP {bbf['fp_rate_percent']:.2f}% vs "
+        f"BF {bf['fp_rate_percent']:.2f}% at ~equal bits/item"
+    )
+
+
+def _table2_fp_near_paper(data: dict) -> Tuple[bool, str]:
+    for name, row in _table2_rows(data).items():
+        bound = 10 * max(row["paper_fp_percent"], 0.05)
+        if not row["fp_rate_percent"] <= bound:
+            return False, (
+                f"{name}: measured FP {row['fp_rate_percent']:.3f}% exceeds "
+                f"10x the paper's {row['paper_fp_percent']:.3f}%"
+            )
+    return True, "every filter lands within an order of magnitude of its paper FP rate"
+
+
+register_stage(Stage(
+    name="table2",
+    title="Table 2: false-positive rate and bits per item",
+    kind="table",
+    description="Empirical FP rate and space of every filter at the "
+                "benchmark fill level, side by side with the paper's values.",
+    run=_run_table2,
+    expectations=(
+        Expectation("sqf-fp-rate-10x-gqf",
+                    "SQF FP rate is several times the GQF's",
+                    _table2_sqf_fp),
+        Expectation("tcf-space-for-speed",
+                    "the TCF family uses more bits/item than the GQF",
+                    _table2_tcf_space),
+        Expectation("bbf-blocking-costs-accuracy",
+                    "the blocked Bloom filter has the highest FPR of the "
+                    "Bloom family at equal bits/item",
+                    _table2_bbf_accuracy_tradeoff),
+        Expectation("fp-within-order-of-paper",
+                    "measured FP rates are within 10x of the paper's",
+                    _table2_fp_near_paper),
+    ),
+))
+
+
+# --------------------------------------------------------------------------
+# Table 3: MetaHipMer memory accounting
+# --------------------------------------------------------------------------
+def _run_table3(preset: Preset) -> StageOutput:
+    genome = kmer_mod.random_genome(preset.table3_genome_bp, seed=33)
+    reads = kmer_mod.generate_reads(
+        genome, 100, preset.table3_coverage, error_rate=0.015, seed=33
+    )
+    kmers = kmer_mod.extract_kmers(reads, 21)
+    expected = max(10_000, int(kmers.size * 1.5))
+    with_tcf = KmerAnalysisPhase(expected_kmers=expected, use_tcf=True)
+    without = KmerAnalysisPhase(expected_kmers=expected, use_tcf=False)
+    with_tcf.process_read_set(reads)
+    without.process_read_set(reads)
+    singleton_fraction = kmer_mod.singleton_fraction(kmers)
+
+    rows = run_table3()
+    reductions = memory_reduction(rows)
+    table_rows = [row.as_row() for row in rows]
+    text = format_dict_rows(
+        table_rows,
+        ["dataset", "method", "nodes", "tcf_mem_gb", "ht_mem_gb", "total_mem_gb"],
+        "Table 3: MetaHipMer memory usage (aggregate GB across 64 nodes)",
+        "{:.0f}",
+    )
+    functional_rows = [
+        {
+            "configuration": "synthetic reads + TCF",
+            "ht_entries": with_tcf.hash_table.n_entries,
+            "ht_bytes": with_tcf.hash_table.nbytes,
+            "tcf_bytes": with_tcf.tcf.nbytes,
+        },
+        {
+            "configuration": "synthetic reads, no TCF",
+            "ht_entries": without.hash_table.n_entries,
+            "ht_bytes": without.hash_table.nbytes,
+            "tcf_bytes": 0,
+        },
+    ]
+    functional = format_dict_rows(
+        functional_rows,
+        ["configuration", "ht_entries", "ht_bytes", "tcf_bytes"],
+        f"Functional k-mer analysis run (measured singleton fraction: "
+        f"{singleton_fraction:.2f})",
+        "{:.0f}",
+    )
+    data = {
+        "rows": table_rows,
+        "reductions": {name: float(value) for name, value in reductions.items()},
+        "functional": {
+            "with_tcf_entries": int(with_tcf.hash_table.n_entries),
+            "without_tcf_entries": int(without.hash_table.n_entries),
+            "with_tcf_bytes": int(with_tcf.hash_table.nbytes + with_tcf.tcf.nbytes),
+            "without_tcf_bytes": int(without.hash_table.nbytes),
+            "singleton_fraction": float(singleton_fraction),
+        },
+    }
+    return StageOutput(
+        data=data, reports={"table3_metahipmer": text + "\n\n" + functional}
+    )
+
+
+def _table3_singletons_filtered(data: dict) -> Tuple[bool, str]:
+    functional = data["functional"]
+    if not functional["with_tcf_entries"] < functional["without_tcf_entries"]:
+        return False, "the TCF did not keep singletons out of the hash table"
+    return True, (
+        f"TCF filtering kept the hash table at {functional['with_tcf_entries']} "
+        f"entries vs {functional['without_tcf_entries']} without"
+    )
+
+
+def _table3_memory_reduction(data: dict) -> Tuple[bool, str]:
+    for dataset in ("WA", "Rhizo"):
+        reduction = data["reductions"].get(dataset, 0.0)
+        if not reduction > 0.4:
+            return False, f"{dataset}: k-mer phase memory reduction is only {reduction:.0%}"
+    return True, "the TCF cuts k-mer-phase memory by >40% on both paper datasets"
+
+
+register_stage(Stage(
+    name="table3",
+    title="Table 3: MetaHipMer k-mer analysis memory",
+    kind="table",
+    description="Functional TCF singleton filtering on synthetic reads plus "
+                "the paper's WA/Rhizo memory accounting at 64 nodes.",
+    run=_run_table3,
+    expectations=(
+        Expectation("tcf-filters-singletons",
+                    "the TCF keeps singleton k-mers out of the hash table",
+                    _table3_singletons_filtered),
+        Expectation("memory-reduction-over-40pct",
+                    "k-mer analysis memory drops >40% on WA and Rhizo",
+                    _table3_memory_reduction),
+    ),
+))
+
+
+# --------------------------------------------------------------------------
+# Table 4: CPU vs GPU filters
+# --------------------------------------------------------------------------
+_TABLE4_LG_CAPACITY = 28
+
+
+def _run_table4(preset: Preset) -> StageOutput:
+    rows = tables.run_table4(
+        lg_capacity=_TABLE4_LG_CAPACITY,
+        sim_lg=preset.sim_lg,
+        n_queries=preset.n_queries,
+    )
+    text = format_dict_rows(
+        rows,
+        ["filter", "device", "insert_mops", "positive_mops", "random_mops",
+         "paper_insert_mops", "paper_positive_mops", "paper_random_mops"],
+        "Table 4: CPU vs GPU filter throughput (Million ops/s) at 2^28",
+        "{:.1f}",
+    )
+    return StageOutput(
+        data={"rows": rows, "lg_capacity": _TABLE4_LG_CAPACITY},
+        reports={"table4_cpu_vs_gpu": text},
+    )
+
+
+def _table4_rows(data: dict) -> Dict[str, dict]:
+    return {row["filter"]: row for row in data["rows"]}
+
+
+def _table4_gpu_beats_cpu(data: dict) -> Tuple[bool, str]:
+    rows = _table4_rows(data)
+    checks = [
+        ("GQF", "CQF (CPU)", "insert_mops", 1.0),
+        ("TCF", "VQF (CPU)", "insert_mops", 1.0),
+        ("GQF", "CQF (CPU)", "positive_mops", 3.0),
+        ("TCF", "VQF (CPU)", "positive_mops", 3.0),
+    ]
+    for gpu, cpu, column, factor in checks:
+        if not rows[gpu][column] > factor * rows[cpu][column]:
+            return False, f"{gpu} {column} does not beat {factor}x the {cpu}'s"
+    return True, "each GPU design beats its CPU ancestor on every operation"
+
+
+def _table4_cqf_weakness(data: dict) -> Tuple[bool, str]:
+    rows = _table4_rows(data)
+    if not rows["CQF (CPU)"]["insert_mops"] < rows["VQF (CPU)"]["insert_mops"]:
+        return False, "the CPU CQF's lock-contended inserts are not its weak point"
+    return True, "the CPU CQF's lock-contended inserts trail the VQF (paper: 2.2 M/s)"
+
+
+def _table4_tcf_fastest(data: dict) -> Tuple[bool, str]:
+    rows = _table4_rows(data)
+    if not rows["TCF"]["insert_mops"] > rows["GQF"]["insert_mops"]:
+        return False, "the TCF is not the fastest inserter overall"
+    return True, "the TCF is the fastest inserter overall"
+
+
+register_stage(Stage(
+    name="table4",
+    title="Table 4: CPU (KNL) vs GPU (V100) filter throughput",
+    kind="table",
+    description="Aggregate throughput of the CPU CQF/VQF against the point "
+                "GQF/TCF at a 2^28 filter size.",
+    run=_run_table4,
+    expectations=(
+        Expectation("gpu-beats-cpu",
+                    "GPU filters beat their CPU ancestors on every operation",
+                    _table4_gpu_beats_cpu),
+        Expectation("cqf-insert-weakness",
+                    "the CPU CQF's lock-contended inserts trail the VQF",
+                    _table4_cqf_weakness),
+        Expectation("tcf-fastest-insert",
+                    "the TCF is the fastest inserter overall",
+                    _table4_tcf_fastest),
+    ),
+))
+
+
+# --------------------------------------------------------------------------
+# Table 5: GQF counting throughput
+# --------------------------------------------------------------------------
+def _run_table5(preset: Preset) -> StageOutput:
+    results = tables.run_table5(sim_lg=preset.table5_sim_lg)
+    grid = tables.table5_as_grid(results)
+
+    headers = ["size (log2)"] + list(tables.TABLE5_DATASETS)
+    rows = [[lg] + [grid[lg][name] for name in tables.TABLE5_DATASETS]
+            for lg in tables.TABLE5_SIZES]
+    measured = format_table(
+        headers, rows,
+        title="Table 5: GQF counting throughput (Million items/s) — "
+              "measured (modelled)",
+        float_format="{:.1f}",
+    )
+    paper_rows = [[lg] + [tables.PAPER_TABLE5[lg][name]
+                          for name in tables.TABLE5_DATASETS]
+                  for lg in tables.TABLE5_SIZES]
+    paper = format_table(
+        headers, paper_rows,
+        title="Table 5 (paper-reported values, for comparison)",
+        float_format="{:.1f}",
+    )
+    data = {
+        "sizes": list(tables.TABLE5_SIZES),
+        "datasets": list(tables.TABLE5_DATASETS),
+        "grid": {str(lg): {name: float(grid[lg][name])
+                           for name in tables.TABLE5_DATASETS}
+                 for lg in tables.TABLE5_SIZES},
+        "paper": {str(lg): tables.PAPER_TABLE5[lg] for lg in tables.TABLE5_SIZES},
+    }
+    return StageOutput(
+        data=data, reports={"table5_counting": measured + "\n\n" + paper}
+    )
+
+
+def _table5_skew_penalty(data: dict) -> Tuple[bool, str]:
+    for lg in data["sizes"]:
+        row = data["grid"][str(lg)]
+        if not row["Zipfian count"] < 0.2 * row["UR"]:
+            return False, f"2^{lg}: un-aggregated Zipfian counting is not slow"
+    return True, "un-aggregated Zipfian counting collapses to a few M/s"
+
+
+def _table5_mapreduce_recovers(data: dict) -> Tuple[bool, str]:
+    for lg in data["sizes"]:
+        row = data["grid"][str(lg)]
+        if not row["Zipfian count (MR)"] > 10 * row["Zipfian count"]:
+            return False, f"2^{lg}: map-reduce does not recover the skew penalty"
+        if not row["Zipfian count (MR)"] >= 0.8 * row["UR count"]:
+            return False, f"2^{lg}: map-reduce Zipfian trails UR-count throughput"
+    return True, "map-reduce aggregation recovers (and exceeds) UR-count speed"
+
+
+def _table5_throughput_scales(data: dict) -> Tuple[bool, str]:
+    small, large = str(min(data["sizes"])), str(max(data["sizes"]))
+    for name in ("UR", "UR count", "k-mer count"):
+        if not data["grid"][large][name] > data["grid"][small][name]:
+            return False, f"{name}: counting throughput does not grow with filter size"
+    return True, "UR / UR-count / k-mer counting throughput grows with filter size"
+
+
+def _table5_zipfian_flat(data: dict) -> Tuple[bool, str]:
+    zipf = [data["grid"][str(lg)]["Zipfian count"] for lg in data["sizes"]]
+    if not max(zipf) < 3 * min(zipf):
+        return False, "the non-MR Zipfian column is not flat across sizes"
+    return True, "the non-MR Zipfian column stays flat: it does not scale with size"
+
+
+def _table5_headline(data: dict) -> Tuple[bool, str]:
+    largest = str(max(data["sizes"]))
+    ur = data["grid"][largest]["UR"]
+    if not ur > 300:
+        return False, f"UR counting at 2^{largest} reaches only {ur:.0f} M/s"
+    return True, f"UR counting reaches {ur:.0f} M/s at 2^{largest} (paper: 566 M/s)"
+
+
+register_stage(Stage(
+    name="table5",
+    title="Table 5: GQF counting throughput under skewed datasets",
+    kind="table",
+    description="Bulk counting throughput for UR / UR-count / Zipfian "
+                "(with and without map-reduce) / k-mer datasets, 2^22..2^28.",
+    run=_run_table5,
+    expectations=(
+        Expectation("zipfian-skew-penalty",
+                    "un-aggregated Zipfian counting collapses",
+                    _table5_skew_penalty),
+        Expectation("mapreduce-recovers-skew",
+                    "map-reduce aggregation removes the skew penalty",
+                    _table5_mapreduce_recovers),
+        Expectation("counting-scales-with-size",
+                    "non-skewed counting throughput grows with filter size",
+                    _table5_throughput_scales),
+        Expectation("zipfian-column-flat",
+                    "the non-MR Zipfian column does not scale with size",
+                    _table5_zipfian_flat),
+        Expectation("high-throughput-counting",
+                    "UR counting exceeds 300 M/s at the largest size",
+                    _table5_headline),
+    ),
+))
+
+
+# --------------------------------------------------------------------------
+# Ablations
+# --------------------------------------------------------------------------
+def _max_load_factor(config: TCFConfig, n_slots: int) -> float:
+    """Fill a TCF until the first insertion failure; return the load factor."""
+    filt = PointTCF(n_slots, config, StatsRecorder())
+    keys = generate_keys(n_slots * 2, seed=0xAB1A7E)
+    try:
+        for key in keys:
+            filt.insert(int(key))
+    except FilterFullError:
+        pass
+    return filt.load_factor
+
+
+def _shortcut_reads_per_insert(shortcut_fill: float, n_slots: int, n_keys: int) -> float:
+    config = TCFConfig(fingerprint_bits=16, block_size=16, shortcut_fill=shortcut_fill)
+    recorder = StatsRecorder()
+    filt = PointTCF(n_slots, config, recorder)
+    keys = generate_keys(n_keys, seed=0x5C)
+    for key in keys:
+        filt.insert(int(key))
+    return recorder.total.cache_line_reads / float(n_keys)
+
+
+def _ablation_quotient_bits(n_keys: int) -> int:
+    """Quotient bits sizing the GQF ablations so presets can scale the
+    batch: the smallest table holding ``n_keys`` at <= 75% fill, which
+    reproduces the historical 3000-keys-into-2^12 (~73% fill) ratio."""
+    return max(11, int(np.ceil(np.log2(n_keys / 0.75))))
+
+
+def _mapreduce_measure(use_mapreduce: bool, n_keys: int) -> Dict[str, int]:
+    dataset = zipfian_count_dataset(n_keys, seed=0x21F)
+    recorder = StatsRecorder()
+    gqf = BulkGQF(_ablation_quotient_bits(n_keys), 8, region_slots=1024,
+                  use_mapreduce=use_mapreduce, recorder=recorder)
+    gqf.bulk_insert(dataset.keys)
+    return {
+        "slot_writes": int(recorder.total.cache_line_writes),
+        "slots_shifted": int(recorder.total.slots_shifted),
+    }
+
+
+def _sorted_insert_measure(sort_first: bool, n_keys: int) -> int:
+    keys = generate_keys(n_keys, seed=0x50F7)
+    quotient_bits = _ablation_quotient_bits(n_keys)
+    recorder = StatsRecorder()
+    core = QuotientFilterCore(quotient_bits, 8, recorder, counting=True)
+    scheme = FingerprintScheme(quotient_bits, 8)
+    quotients, remainders = scheme.key_to_slot(keys)
+    order = np.argsort(quotients) if sort_first else np.arange(keys.size)
+    for i in order:
+        core.insert_fingerprint(int(quotients[i]), int(remainders[i]))
+    return int(recorder.total.slots_shifted)
+
+
+def _run_ablations(preset: Preset) -> StageOutput:
+    n_slots = preset.ablation_slots
+    n_keys = preset.ablation_keys
+
+    with_backing = TCFConfig(fingerprint_bits=16, block_size=16, backing_fraction=0.01)
+    # A vanishingly small backing table approximates "no backing store".
+    without_backing = TCFConfig(fingerprint_bits=16, block_size=16,
+                                backing_fraction=1e-9)
+    lf_with = _max_load_factor(with_backing, n_slots)
+    lf_without = _max_load_factor(without_backing, n_slots)
+
+    shortcut_keys = max(n_keys, n_slots // 2)
+    reads_with = _shortcut_reads_per_insert(0.75, n_slots, shortcut_keys)
+    reads_without = _shortcut_reads_per_insert(0.0, n_slots, shortcut_keys)
+
+    mr = _mapreduce_measure(True, n_keys)
+    direct = _mapreduce_measure(False, n_keys)
+
+    sorted_shifted = _sorted_insert_measure(True, n_keys)
+    unsorted_shifted = _sorted_insert_measure(False, n_keys)
+
+    reports = {
+        "ablation_backing_table": format_dict_rows(
+            [{"configuration": "with backing table (1/100th)",
+              "achievable_load_factor": lf_with},
+             {"configuration": "without backing table",
+              "achievable_load_factor": lf_without}],
+            ["configuration", "achievable_load_factor"],
+            "Ablation: TCF achievable load factor with/without the backing store",
+        ),
+        "ablation_shortcut": format_dict_rows(
+            [{"configuration": "shortcut at 0.75 fill",
+              "cache_line_reads_per_insert": reads_with},
+             {"configuration": "shortcut disabled",
+              "cache_line_reads_per_insert": reads_without}],
+            ["configuration", "cache_line_reads_per_insert"],
+            "Ablation: cache-line reads per TCF insert with/without the shortcut",
+        ),
+        "ablation_mapreduce": format_dict_rows(
+            [{"configuration": "map-reduce", **mr},
+             {"configuration": "direct", **direct}],
+            ["configuration", "slot_writes", "slots_shifted"],
+            "Ablation: GQF work on a Zipfian batch with/without map-reduce",
+        ),
+        "ablation_sorted_insert": format_dict_rows(
+            [{"configuration": "sorted batch", "slots_shifted": sorted_shifted},
+             {"configuration": "unsorted batch", "slots_shifted": unsorted_shifted}],
+            ["configuration", "slots_shifted"],
+            "Ablation: Robin-Hood slots shifted with sorted vs unsorted batches",
+        ),
+    }
+    data = {
+        "backing_table": {"with_lf": float(lf_with), "without_lf": float(lf_without)},
+        "shortcut": {"reads_with": float(reads_with),
+                     "reads_without": float(reads_without)},
+        "mapreduce": {"mr": mr, "direct": direct},
+        "sorted_insert": {"sorted_shifted": sorted_shifted,
+                          "unsorted_shifted": unsorted_shifted},
+    }
+    return StageOutput(data=data, reports=reports)
+
+
+def _ablation_backing(data: dict) -> Tuple[bool, str]:
+    backing = data["backing_table"]
+    # At benchmark scale the first both-blocks-full event strikes later than
+    # at the paper's 2^28 scale, so the check is directional: the backing
+    # table must extend the achievable load factor to the 90% target.
+    if not backing["with_lf"] >= 0.89:
+        return False, f"with the backing table the TCF only reaches {backing['with_lf']:.1%}"
+    if not backing["without_lf"] < backing["with_lf"]:
+        return False, "the backing table does not extend the achievable load factor"
+    return True, (
+        f"backing table extends achievable load "
+        f"{backing['without_lf']:.1%} -> {backing['with_lf']:.1%} (paper: 79.6% -> 90%)"
+    )
+
+
+def _ablation_shortcut(data: dict) -> Tuple[bool, str]:
+    shortcut = data["shortcut"]
+    saved = shortcut["reads_without"] - shortcut["reads_with"]
+    if not (shortcut["reads_with"] < shortcut["reads_without"] and saved > 0.5):
+        return False, f"the shortcut saves only {saved:.2f} cache-line reads per insert"
+    return True, f"the shortcut saves {saved:.2f} cache-line reads per insert (~one line)"
+
+
+def _ablation_mapreduce(data: dict) -> Tuple[bool, str]:
+    mapreduce = data["mapreduce"]
+    if not mapreduce["mr"]["slot_writes"] < mapreduce["direct"]["slot_writes"]:
+        return False, "map-reduce does not reduce slot writes on a Zipfian batch"
+    return True, "map-reduce aggregation removes the hot-item work from skewed batches"
+
+
+def _ablation_sorted(data: dict) -> Tuple[bool, str]:
+    sorted_insert = data["sorted_insert"]
+    bound = 0.2 * sorted_insert["unsorted_shifted"] + 5
+    if not sorted_insert["sorted_shifted"] <= bound:
+        return False, (
+            f"sorted insertion still shifts {sorted_insert['sorted_shifted']} slots "
+            f"(unsorted: {sorted_insert['unsorted_shifted']})"
+        )
+    return True, "sorting the batch eliminates intra-batch Robin-Hood shifting"
+
+
+register_stage(Stage(
+    name="ablations",
+    title="Ablations: backing table, shortcut, map-reduce, sorted insert",
+    kind="ablation",
+    description="Verifies that the mechanisms the paper credits for its "
+                "performance/robustness carry their weight in this "
+                "reproduction.",
+    run=_run_ablations,
+    expectations=(
+        Expectation("backing-table-extends-load",
+                    "the backing table raises the achievable load factor to 90%",
+                    _ablation_backing),
+        Expectation("shortcut-saves-a-cache-line",
+                    "the shortcut saves ~one cache-line read per insert",
+                    _ablation_shortcut),
+        Expectation("mapreduce-reduces-writes",
+                    "map-reduce reduces slot writes on Zipfian batches",
+                    _ablation_mapreduce),
+        Expectation("sorted-insert-no-shifting",
+                    "sorted batches eliminate intra-batch shifting",
+                    _ablation_sorted),
+    ),
+))
+
+
+# --------------------------------------------------------------------------
+# Point-path wall-clock timing (perf-trajectory guard)
+# --------------------------------------------------------------------------
+#: Minimum sustained rates (keys/s) for the vectorised point paths; the
+#: historical thresholds (50k inserts < 0.4s etc.) expressed per key so the
+#: guard scales with the preset's batch sizes.
+_TIMING_MIN_RATES = {
+    "gqf_point_insert_s": 125_000.0,
+    "tcf_point_insert_s": 83_000.0,
+    "tcf_point_query_s": 100_000.0,
+}
+
+
+def _timed(label: str, timings: Dict[str, float], fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    timings[label] = round(time.perf_counter() - start, 6)
+    return result
+
+
+def _run_point_timing(preset: Preset) -> StageOutput:
+    n_inserts = preset.timing_inserts
+    n_queries = preset.timing_queries
+    rng = np.random.default_rng(0xBEEF)
+    keys = rng.integers(0, 2**63, size=n_inserts, dtype=np.uint64)
+    timings: Dict[str, float] = {}
+
+    gqf = PointGQF.for_capacity(n_inserts + n_queries, recorder=StatsRecorder())
+    _timed("gqf_point_insert_s", timings, gqf.bulk_insert, keys)
+    _timed("gqf_point_query_s", timings, gqf.bulk_query, keys[:n_queries])
+    _timed("gqf_point_delete_s", timings, gqf.bulk_delete, keys[:n_queries])
+
+    tcf = PointTCF.for_capacity(n_inserts + n_queries, recorder=StatsRecorder())
+    _timed("tcf_point_insert_s", timings, tcf.bulk_insert, keys)
+    _timed("tcf_point_query_s", timings, tcf.bulk_query, keys[:n_queries])
+    _timed("tcf_point_delete_s", timings, tcf.bulk_delete, keys[:n_queries])
+
+    genome = kmer_mod.random_genome(preset.kmer_genome_bp, seed=1)
+    reads = kmer_mod.generate_reads(genome, coverage=preset.kmer_coverage, seed=2)
+    kmers = _timed("kmer_extract_s", timings, kmer_mod.extract_kmers, reads, 21)
+    counter = GPUKmerCounter(expected_kmers=int(kmers.size), exclude_singletons=True)
+    _timed("app_kmer_counter_s", timings, counter.count_kmers, kmers)
+    phase = KmerAnalysisPhase(expected_kmers=int(kmers.size))
+    _timed("app_metahipmer_s", timings, phase.process_kmers, kmers)
+
+    lines = ["Point-path wall-clock timings (functional simulation, this machine)",
+             f"  batch sizes: {n_inserts} inserts, {n_queries} queries, "
+             f"{int(kmers.size)} k-mers"]
+    lines += [f"  {key:<24s} {seconds:8.4f}" for key, seconds in timings.items()]
+    data = {
+        "timings": timings,
+        "preset": preset.name,
+        "n_inserts": n_inserts,
+        "n_queries": n_queries,
+        "n_kmers": int(kmers.size),
+        "min_rates": dict(_TIMING_MIN_RATES),
+    }
+    # BENCH_POINT.json is the cross-PR perf trajectory: it must carry the
+    # batch sizes alongside the seconds, or runs at different presets would
+    # look like phantom speedups/regressions.
+    trajectory = {key: data[key]
+                  for key in ("preset", "n_inserts", "n_queries", "n_kmers", "timings")}
+    return StageOutput(
+        data=data,
+        reports={"bench_point_timing": "\n".join(lines)},
+        files={"BENCH_POINT.json": json.dumps(trajectory, indent=2) + "\n"},
+    )
+
+
+def _timing_rates(data: dict) -> Tuple[bool, str]:
+    batch = {"gqf_point_insert_s": data["n_inserts"],
+             "tcf_point_insert_s": data["n_inserts"],
+             "tcf_point_query_s": data["n_queries"]}
+    for label, min_rate in data.get("min_rates", _TIMING_MIN_RATES).items():
+        seconds = data["timings"][label]
+        n = batch[label]
+        rate = n / seconds if seconds > 0 else float("inf")
+        if rate < min_rate:
+            return False, (
+                f"{label}: {rate:,.0f} keys/s is below the {min_rate:,.0f}/s "
+                f"vectorisation guard"
+            )
+    return True, "the vectorised point paths sustain their guarded key rates"
+
+
+register_stage(Stage(
+    name="point_timing",
+    title="Point-path wall-clock timing (perf-trajectory guard)",
+    kind="timing",
+    description="Measures how long the functional simulation itself takes "
+                "on the point-API batched paths and the k-mer applications; "
+                "also writes BENCH_POINT.json for the perf trajectory.",
+    run=_run_point_timing,
+    serial=True,
+    expectations=(
+        Expectation("point-paths-stay-vectorised",
+                    "point-path wall-clock rates stay above the 50x guard",
+                    _timing_rates),
+    ),
+))

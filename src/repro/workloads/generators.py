@@ -14,12 +14,12 @@ description into the flat insertion stream the GQF receives.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
-from ..hashing.xorwow import XorwowGenerator, generate_keys
+from ..hashing.xorwow import generate_keys
 from . import distributions
 
 

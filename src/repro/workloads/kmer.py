@@ -21,7 +21,7 @@ MetaHipMer TCF filtering worthwhile.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

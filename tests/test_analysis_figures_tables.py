@@ -3,7 +3,7 @@
 import pytest
 
 from repro.analysis import figures, tables
-from repro.analysis.throughput import PHASE_DELETE, PHASE_INSERT, PHASE_POSITIVE
+from repro.analysis.throughput import PHASE_DELETE, PHASE_INSERT
 from repro.gpusim.device import V100
 from repro.workloads.generators import uniform_count_dataset, zipfian_count_dataset
 

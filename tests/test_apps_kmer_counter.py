@@ -1,6 +1,5 @@
 """Tests for the GQF-based GPU k-mer counter (Squeakr-on-GPU)."""
 
-import numpy as np
 import pytest
 
 from repro.apps.kmer_counter import GPUKmerCounter

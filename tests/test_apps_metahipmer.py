@@ -1,6 +1,5 @@
 """Tests for the MetaHipMer k-mer analysis phase (Table 3)."""
 
-import numpy as np
 import pytest
 
 from repro.apps.metahipmer import (

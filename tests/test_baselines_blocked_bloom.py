@@ -1,6 +1,5 @@
 """Tests for the blocked Bloom filter baseline."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.blocked_bloom import BLOCK_BITS, BlockedBloomFilter

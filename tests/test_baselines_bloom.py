@@ -1,6 +1,5 @@
 """Tests for the GPU Bloom filter baseline."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.bloom import PAPER_BITS_PER_ITEM, PAPER_NUM_HASHES, BloomFilter

@@ -1,6 +1,5 @@
 """Tests for the CPU CQF and VQF baselines (Table 4)."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.cpu_cqf import KNL_THREADS, CPUCountingQuotientFilter

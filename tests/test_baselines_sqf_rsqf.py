@@ -1,6 +1,5 @@
 """Tests for the Geil et al. SQF and RSQF baselines."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.rsqf import RankSelectQuotientFilter

@@ -1,0 +1,49 @@
+"""Smoke tests running every example as a subprocess at tiny scale.
+
+The examples are the package's living documentation; running them here
+(with ``REPRO_EXAMPLE_SCALE=tiny``, see each example's scale knob) keeps
+them from silently rotting as the APIs evolve.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[1] / "examples"
+SRC_DIR = pathlib.Path(__file__).resolve().parents[1] / "src"
+
+#: (script, a line fragment its output must contain)
+EXAMPLES = [
+    ("quickstart.py", "Two-Choice Filter"),
+    ("kmer_counting.py", "counting k-mers in the GQF"),
+    ("database_join_filter.py", "semi-join pre-filter"),
+]
+
+
+def _run_example(script: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["REPRO_EXAMPLE_SCALE"] = "tiny"
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=300, env=env,
+    )
+
+
+@pytest.mark.parametrize("script,expected", EXAMPLES)
+def test_example_runs_clean(script, expected):
+    result = _run_example(script)
+    assert result.returncode == 0, (
+        f"{script} exited with {result.returncode}\n"
+        f"stdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+    )
+    assert expected in result.stdout, (
+        f"{script} output lost its marker line {expected!r}:\n{result.stdout}"
+    )
+    # A clean demo writes nothing to stderr (warnings would show up here).
+    assert result.stderr.strip() == "", f"{script} wrote to stderr:\n{result.stderr}"

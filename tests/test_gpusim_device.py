@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.gpusim.device import A100, KNL, V100, GPUSpec, get_device
+from repro.gpusim.device import A100, KNL, V100, get_device
 
 
 class TestKnownDevices:

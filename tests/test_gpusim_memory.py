@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.gpusim.memory import DeviceAllocator, DeviceArray
-from repro.gpusim.stats import StatsRecorder
 
 
 class TestDeviceArrayBasics:

@@ -11,7 +11,6 @@ from repro.gpusim.sorting import (
     device_sort_by_key,
     device_unique_counts,
 )
-from repro.gpusim.stats import StatsRecorder
 
 
 class TestDeviceSort:

@@ -1,6 +1,5 @@
 """Tests for the counting-quotient-filter core (Robin Hood + counters)."""
 
-import numpy as np
 import pytest
 
 from repro.core.exceptions import FilterFullError

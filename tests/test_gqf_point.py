@@ -1,6 +1,5 @@
 """Tests for the point GQF (locking, counting, values, resize)."""
 
-import numpy as np
 import pytest
 
 from repro.core.gqf import PointGQF

@@ -1,7 +1,6 @@
 """Tests for the XORWOW generator (cuRand substitute)."""
 
 import numpy as np
-import pytest
 
 from repro.hashing.xorwow import XorwowGenerator, generate_disjoint_keys, generate_keys
 

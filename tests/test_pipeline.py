@@ -1,0 +1,167 @@
+"""Tests for the repro.pipeline subsystem: stage registry, presets,
+expectations and artifact serialisation."""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.pipeline import (
+    PRESETS,
+    Expectation,
+    Stage,
+    StageOutput,
+    all_stages,
+    get_preset,
+    get_stage,
+    register_stage,
+    stage_names,
+)
+from repro.pipeline.stage import _REGISTRY
+
+#: Every figure/table of the paper, in registration (paper) order.
+EXPECTED_STAGES = [
+    "fig3", "fig4", "fig5", "fig6",
+    "table1", "table2", "table3", "table4", "table5",
+    "ablations", "point_timing",
+]
+
+
+class TestRegistry:
+    def test_all_eleven_stages_registered(self):
+        assert stage_names() == EXPECTED_STAGES
+
+    def test_round_trip(self):
+        for name in EXPECTED_STAGES:
+            stage = get_stage(name)
+            assert stage.name == name
+            assert callable(stage.run)
+            assert stage.title
+            assert stage.kind in ("figure", "table", "ablation", "timing")
+            assert stage.expectations, f"{name} declares no paper expectations"
+
+    def test_all_stages_matches_names(self):
+        assert [stage.name for stage in all_stages()] == stage_names()
+
+    def test_unknown_stage_raises_with_menu(self):
+        with pytest.raises(KeyError, match="fig3"):
+            get_stage("nonexistent")
+
+    def test_duplicate_registration_rejected(self):
+        probe = Stage(
+            name="_probe", title="probe", kind="table", description="",
+            run=lambda preset: StageOutput(data={}),
+        )
+        register_stage(probe)
+        try:
+            with pytest.raises(ValueError, match="_probe"):
+                register_stage(probe)
+            assert get_stage("_probe") is probe
+        finally:
+            del _REGISTRY["_probe"]
+
+    def test_every_expectation_id_unique_within_stage(self):
+        for stage in all_stages():
+            ids = [e.id for e in stage.expectations]
+            assert len(ids) == len(set(ids))
+
+    def test_custom_registration_does_not_suppress_builtins(self):
+        # Regression: registering a custom stage before the first lookup
+        # must not stop the built-in stages from loading (fresh interpreter).
+        code = (
+            "from repro.pipeline import Stage, StageOutput, register_stage, stage_names\n"
+            "register_stage(Stage(name='custom', title='t', kind='table',\n"
+            "                     description='', run=lambda p: StageOutput(data={})))\n"
+            "names = stage_names()\n"
+            "assert 'fig3' in names and 'custom' in names, names\n"
+        )
+        env = dict(os.environ)
+        src = pathlib.Path(__file__).resolve().parents[1] / "src"
+        env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run([sys.executable, "-c", code],
+                                capture_output=True, text=True, env=env)
+        assert result.returncode == 0, result.stderr
+
+
+class TestPresets:
+    def test_three_presets(self):
+        assert set(PRESETS) == {"smoke", "default", "paper"}
+
+    def test_scaling_is_monotonic(self):
+        smoke, default, paper = (PRESETS[n] for n in ("smoke", "default", "paper"))
+        for field in ("sim_lg", "n_queries", "fpr_n_negative", "table5_sim_lg",
+                      "timing_inserts", "kmer_genome_bp", "table3_genome_bp"):
+            assert getattr(smoke, field) <= getattr(default, field) <= getattr(paper, field), field
+
+    def test_default_matches_historical_bench_constants(self):
+        # PRs 1-4 grew BENCH_SIM_LG to 15 with 1024 queries per phase; the
+        # default preset carries those values forward.
+        default = get_preset("default")
+        assert default.sim_lg == 15
+        assert default.n_queries == 1024
+
+    def test_unknown_preset_raises_with_menu(self):
+        with pytest.raises(KeyError, match="smoke"):
+            get_preset("nonexistent")
+
+    def test_scaled_override(self):
+        tiny = get_preset("smoke").scaled(sim_lg=8)
+        assert tiny.sim_lg == 8
+        assert tiny.n_queries == get_preset("smoke").n_queries
+
+
+class TestExpectations:
+    def test_bool_check(self):
+        expectation = Expectation("always", "always true", lambda data: True)
+        result = expectation.evaluate({})
+        assert result.passed and result.detail == ""
+
+    def test_tuple_check_carries_detail(self):
+        expectation = Expectation(
+            "detail", "with detail", lambda data: (False, "broke because X")
+        )
+        result = expectation.evaluate({})
+        assert not result.passed
+        assert result.detail == "broke because X"
+
+    def test_raising_check_is_a_failure_not_a_crash(self):
+        expectation = Expectation(
+            "raises", "reads a missing key", lambda data: data["missing"]
+        )
+        result = expectation.evaluate({})
+        assert not result.passed
+        assert "KeyError" in result.detail
+
+    def test_as_dict_round_trips_through_json(self):
+        expectation = Expectation("x", "desc", lambda data: (True, "fine"))
+        payload = json.loads(json.dumps(expectation.evaluate({}).as_dict()))
+        assert payload == {"id": "x", "description": "desc",
+                           "passed": True, "detail": "fine"}
+
+
+class TestStageEvaluation:
+    """Run the cheapest real stage and check the expectation layer."""
+
+    @pytest.fixture(scope="class")
+    def table1_output(self):
+        return get_stage("table1").run(get_preset("smoke"))
+
+    def test_payload_is_json_serialisable(self, table1_output):
+        json.dumps(table1_output.data)
+
+    def test_expectations_hold_on_real_run(self, table1_output):
+        results = get_stage("table1").evaluate(table1_output.data)
+        assert results and all(r.passed for r in results)
+
+    def test_violated_expectation_fails(self, table1_output):
+        corrupted = json.loads(json.dumps(table1_output.data))
+        corrupted["matrix"]["GQF"]["insert_point"] = False
+        results = get_stage("table1").evaluate(corrupted)
+        assert any(not r.passed and "GQF" in r.detail for r in results)
+
+    def test_reports_render_text(self, table1_output):
+        assert "table1_api_matrix" in table1_output.reports
+        assert "Table 1" in table1_output.reports["table1_api_matrix"]

@@ -1,0 +1,173 @@
+"""Tests for the ``python -m repro`` CLI, the runner and the manifest."""
+
+import json
+import re
+
+import pytest
+
+from repro.pipeline import load_manifest, load_stage_artifact
+from repro.pipeline.cli import build_parser, main
+
+#: Fast stages used to exercise the runner without the heavy sweeps.
+FAST_STAGES = ["table1", "table3"]
+
+
+class TestArgParsing:
+    def test_reproduce_defaults(self):
+        args = build_parser().parse_args(["reproduce"])
+        assert args.preset == "default"
+        assert args.jobs == 0
+
+    def test_run_collects_stage_names(self):
+        args = build_parser().parse_args(
+            ["run", "fig3", "table2", "--preset", "smoke", "--jobs", "2"]
+        )
+        assert args.stages == ["fig3", "table2"]
+        assert args.preset == "smoke"
+        assert args.jobs == 2
+
+    def test_bad_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reproduce", "--preset", "huge"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_stage_is_a_clean_error(self, tmp_path, capsys):
+        code = main(["run", "not_a_stage", "--results-dir", str(tmp_path)])
+        assert code == 2
+        assert "unknown stage" in capsys.readouterr().err
+
+    def test_list_mentions_every_stage_and_preset(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig3", "table5", "point_timing", "smoke", "paper"):
+            assert name in out
+
+
+class TestRunAndManifest:
+    @pytest.fixture(scope="class")
+    def run_dir(self, tmp_path_factory):
+        results_dir = tmp_path_factory.mktemp("artifacts")
+        code = main(["run", *FAST_STAGES, "--preset", "smoke",
+                     "--results-dir", str(results_dir), "--jobs", "1"])
+        assert code == 0
+        return results_dir
+
+    def test_manifest_contents(self, run_dir):
+        manifest = load_manifest(run_dir)
+        assert manifest["preset"] == "smoke"
+        assert re.fullmatch(r"[0-9a-f]{40}|unknown", manifest["git_sha"])
+        assert manifest["duration_s"] >= 0
+        assert set(manifest["stages"]) == set(FAST_STAGES)
+        for record in manifest["stages"].values():
+            assert record["status"] == "ok"
+            assert record["duration_s"] >= 0
+            assert record["expectations"]["failed"] == 0
+        totals = manifest["totals"]
+        assert totals["stages"] == totals["ok"] == len(FAST_STAGES)
+        assert totals["failed"] == 0
+        assert totals["expectations_failed"] == 0
+
+    def test_stage_artifacts_written(self, run_dir):
+        for name in FAST_STAGES:
+            artifact = load_stage_artifact(run_dir, name)
+            assert artifact["stage"] == name
+            assert artifact["schema_version"] == 1
+            assert artifact["preset"] == "smoke"
+            assert artifact["data"]
+            assert all(e["passed"] for e in artifact["expectations"])
+
+    def test_text_reports_written(self, run_dir):
+        assert (run_dir / "table1_api_matrix.txt").exists()
+        assert (run_dir / "table3_metahipmer.txt").exists()
+
+    def test_parallel_execution_matches(self, tmp_path):
+        code = main(["run", *FAST_STAGES, "--preset", "smoke",
+                     "--results-dir", str(tmp_path), "--jobs", "2"])
+        assert code == 0
+        manifest = load_manifest(tmp_path)
+        assert manifest["totals"]["ok"] == len(FAST_STAGES)
+
+    def test_check_flags_partial_run_as_incomplete(self, run_dir, capsys):
+        # `repro check` gates EVERY registered stage: a manifest from a
+        # partial `repro run` must not narrow the gate to just those stages.
+        assert main(["check", "--results-dir", str(run_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "MISSING" in out
+        assert "fig3" in out
+
+    def test_check_without_manifest(self, tmp_path, capsys):
+        assert main(["check", "--results-dir", str(tmp_path)]) == 2
+        assert "manifest" in capsys.readouterr().err
+
+
+class TestCheckFullReproduction:
+    @pytest.fixture(scope="class")
+    def full_dir(self, tmp_path_factory):
+        results_dir = tmp_path_factory.mktemp("full-artifacts")
+        assert main(["reproduce", "--preset", "smoke",
+                     "--results-dir", str(results_dir)]) == 0
+        return results_dir
+
+    def test_check_passes_on_complete_artifacts(self, full_dir, capsys):
+        assert main(["check", "--results-dir", str(full_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "0 failed, 0 stage(s) unavailable" in out
+
+    def test_check_fails_on_violated_expectation(self, full_dir, tmp_path, capsys):
+        for path in full_dir.iterdir():
+            (tmp_path / path.name).write_text(path.read_text())
+        artifact = json.loads((tmp_path / "table1.json").read_text())
+        # Deliberately violate the paper's Table 1: claim the BF deletes.
+        artifact["data"]["matrix"]["BF"]["delete_point"] = True
+        (tmp_path / "table1.json").write_text(json.dumps(artifact))
+        assert main(["check", "--results-dir", str(tmp_path)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_check_flags_preset_mismatched_artifact_as_stale(
+        self, full_dir, tmp_path, capsys
+    ):
+        for path in full_dir.iterdir():
+            (tmp_path / path.name).write_text(path.read_text())
+        artifact = json.loads((tmp_path / "table1.json").read_text())
+        artifact["preset"] = "paper"  # provenance differs from the manifest
+        (tmp_path / "table1.json").write_text(json.dumps(artifact))
+        assert main(["check", "--results-dir", str(tmp_path)]) == 1
+        assert "STALE" in capsys.readouterr().out
+
+
+class TestPresetOverrides:
+    def test_run_stages_honours_scaled_preset(self, tmp_path):
+        # Regression: run_stages must execute with the Preset object it was
+        # given (including .scaled() overrides), not re-resolve by name.
+        from repro.pipeline import get_preset, load_stage_artifact, run_stages
+
+        preset = get_preset("smoke").scaled(timing_inserts=4_000, timing_queries=1_000)
+        manifest = run_stages(["point_timing"], preset, tmp_path, jobs=1)
+        assert manifest["stages"]["point_timing"]["status"] == "ok"
+        artifact = load_stage_artifact(tmp_path, "point_timing")
+        assert artifact["data"]["n_inserts"] == 4_000
+        assert artifact["data"]["n_queries"] == 1_000
+
+
+class TestFailedStageHandling:
+    def test_failed_stage_recorded_not_raised(self, tmp_path):
+        from repro.pipeline import Stage, register_stage
+        from repro.pipeline.stage import _REGISTRY
+
+        register_stage(Stage(
+            name="_boom", title="exploding probe stage", kind="table",
+            description="", run=lambda preset: 1 / 0,
+        ))
+        try:
+            code = main(["run", "_boom", "--preset", "smoke",
+                         "--results-dir", str(tmp_path), "--jobs", "1"])
+        finally:
+            del _REGISTRY["_boom"]
+        assert code == 1
+        manifest = load_manifest(tmp_path)
+        record = manifest["stages"]["_boom"]
+        assert record["status"] == "failed"
+        assert "ZeroDivisionError" in record["error"]

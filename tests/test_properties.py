@@ -11,7 +11,6 @@ These check the invariants the paper's correctness arguments rest on:
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

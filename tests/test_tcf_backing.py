@@ -1,6 +1,5 @@
 """Tests for the TCF's double-hashing backing table."""
 
-import numpy as np
 import pytest
 
 from repro.core.tcf.backing import BackingTable

@@ -1,10 +1,9 @@
 """Tests for cooperative-group block operations (paper Algorithm 1)."""
 
-import numpy as np
 import pytest
 
 from repro.core.tcf.block import BlockedTable
-from repro.core.tcf.config import EMPTY_SLOT, TOMBSTONE_SLOT, TCFConfig
+from repro.core.tcf.config import TCFConfig
 
 
 @pytest.fixture

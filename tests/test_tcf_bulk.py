@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.exceptions import UnsupportedOperationError
-from repro.core.tcf import BULK_TCF_DEFAULT, BulkTCF, TCFConfig
+from repro.core.tcf import BulkTCF, TCFConfig
 
 
 @pytest.fixture

@@ -1,10 +1,9 @@
 """Tests for the point TCF."""
 
-import numpy as np
 import pytest
 
 from repro.core.exceptions import FilterFullError, UnsupportedOperationError
-from repro.core.tcf import POINT_TCF_DEFAULT, PointTCF, TCFConfig
+from repro.core.tcf import PointTCF, TCFConfig
 
 
 @pytest.fixture
