@@ -1,0 +1,15 @@
+"""Filter lifecycle benchmarks: snapshots, k-way merge, online resize.
+
+Thin wrapper over the ``lifecycle`` pipeline stage (``python -m repro run
+lifecycle``), which measures save/load bandwidth, merge throughput and
+resize cost, and gates:
+
+* every filter family round-trips through ``save``/``load`` bit-identically;
+* the snapshot CRC rejects truncated/corrupted files;
+* k-way merges preserve membership (bit-exact for the quotient family);
+* filters filled past capacity grow online instead of raising.
+"""
+
+
+def test_lifecycle(run_stage):
+    run_stage("lifecycle")

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Filter lifecycle: save/load snapshots, k-way merge, and online resize.
+
+A filter in a real pipeline (the paper's motivating MetaHipMer run) outlives
+a single process: per-node shards are written to disk, shipped, merged into
+one filter, and grown when the dataset outpaces the initial sizing.  This
+example walks the whole lifecycle with the lifecycle layer:
+
+* ``filter.save(path)`` / ``FilterClass.load(path)`` — versioned,
+  CRC-checked binary snapshots, ``np.memmap``-able for zero-copy loads;
+* ``repro.lifecycle.merge(*filters)`` — k-way merge via the same device
+  sort + reduce-by-key pipeline the bulk insert path uses;
+* ``auto_resize=True`` — load-factor-triggered online growth (quotient
+  extension for the GQF, journal-replay double-and-rehash for the TCF).
+
+Run with::
+
+    python examples/filter_persistence.py
+
+Set ``REPRO_SNAPSHOT_DIR`` to keep the snapshot files around (CI uploads
+them as build artifacts); otherwise a temporary directory is used.
+"""
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro import BulkGQF, PointTCF
+from repro.hashing import generate_keys
+from repro.lifecycle import merge
+
+#: REPRO_EXAMPLE_SCALE=tiny shrinks the demo so tests/test_examples.py
+#: can run every example as a fast subprocess smoke test.
+TINY = os.environ.get("REPRO_EXAMPLE_SCALE") == "tiny"
+N = 2_000 if TINY else 50_000
+SHARDS = 3
+
+
+def snapshot_demo(workdir: str) -> None:
+    print("=== snapshots: save/load round trip ===")
+    filt = BulkGQF.for_capacity(2 * N)
+    keys = generate_keys(N, seed=42)
+    filt.bulk_insert(keys)
+
+    path = os.path.join(workdir, "gqf.rpro")
+    nbytes = filt.save(path)
+    print(f"saved {filt.n_items:,} items to {path} ({nbytes:,} bytes)")
+
+    loaded = BulkGQF.load(path)
+    assert loaded.bulk_query(keys).all()
+    assert np.array_equal(loaded.core.slots.peek(), filt.core.slots.peek())
+    print(f"loaded filter is bit-identical ({loaded.n_items:,} items)\n")
+
+
+def merge_demo(workdir: str) -> None:
+    print(f"=== {SHARDS}-way merge of per-shard filters ===")
+    keys = generate_keys(N, seed=7)
+    paths = []
+    for i, shard in enumerate(np.array_split(keys, SHARDS)):
+        filt = BulkGQF.for_capacity(N)
+        filt.bulk_insert(shard)
+        path = os.path.join(workdir, f"shard{i}.rpro")
+        filt.save(path)
+        paths.append(path)
+    shards = [BulkGQF.load(path) for path in paths]
+    merged = merge(*shards)
+    assert merged.bulk_query(keys).all()
+    print(f"merged {SHARDS} shards of ~{N // SHARDS:,} keys into one filter "
+          f"holding {merged.n_items:,} items "
+          f"(load factor {merged.load_factor:.2f})\n")
+
+
+def resize_demo() -> None:
+    print("=== online resize: inserting far past the initial capacity ===")
+    filt = PointTCF(256, auto_resize=True)
+    keys = generate_keys(N, seed=3)
+    filt.bulk_insert(keys)
+    assert filt.bulk_query(keys).all()
+    print(f"a 256-slot TCF absorbed {N:,} keys through {filt.n_resizes} "
+          f"doublings ({filt.table.n_slots:,} slots, "
+          f"load factor {filt.load_factor:.2f})")
+
+
+def main() -> None:
+    snapshot_dir = os.environ.get("REPRO_SNAPSHOT_DIR")
+    if snapshot_dir:
+        os.makedirs(snapshot_dir, exist_ok=True)
+        snapshot_demo(snapshot_dir)
+        merge_demo(snapshot_dir)
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            snapshot_demo(tmp)
+            merge_demo(tmp)
+    resize_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -13,7 +13,9 @@ The package provides:
 * :mod:`repro.apps` — the MetaHipMer k-mer analysis and k-mer counting
   applications;
 * :mod:`repro.analysis` — the benchmark harness that regenerates every table
-  and figure of the paper's evaluation.
+  and figure of the paper's evaluation;
+* :mod:`repro.lifecycle` — versioned filter snapshots (``filter.save`` /
+  ``FilterClass.load``), k-way merge, and online resize.
 
 Quickstart::
 

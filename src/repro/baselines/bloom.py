@@ -18,7 +18,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..core.base import AbstractFilter, FilterCapabilities
+from ..core.base import AbstractFilter, FilterCapabilities, restore_array
 from ..core.exceptions import UnsupportedOperationError
 from ..gpusim.atomics import atomic_or
 from ..gpusim.kernel import KernelContext, point_launch
@@ -241,6 +241,24 @@ class BloomFilter(AbstractFilter):
                 reads = np.where(out, self.n_hashes, np.argmin(bit_set, axis=1) + 1)
                 self.recorder.add(cache_line_reads=int(reads.sum()))
         return out
+
+    # --------------------------------------------------------------- lifecycle
+    def snapshot_config(self) -> dict:
+        return {
+            "n_bits": self.n_bits,
+            "n_hashes": self.n_hashes,
+            "bits_per_item": self.sizing_bits_per_item,
+        }
+
+    def snapshot_state(self) -> dict:
+        return {
+            "words": self.words.peek().copy(),
+            "scalars": np.array([self._n_items], dtype=np.int64),
+        }
+
+    def restore_state(self, state) -> None:
+        restore_array(self.words.peek(), state["words"], "words")
+        self._n_items = int(np.asarray(state["scalars"])[0])
 
     # ---------------------------------------------------------------- analysis
     def active_threads_for(self, n_ops: int) -> int:

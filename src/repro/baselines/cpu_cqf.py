@@ -213,6 +213,20 @@ class CPUCountingQuotientFilter(AbstractFilter):
                         removed += 1
         return removed
 
+    # --------------------------------------------------------------- lifecycle
+    def snapshot_config(self) -> dict:
+        return {
+            "quotient_bits": self.scheme.quotient_bits,
+            "remainder_bits": self.scheme.remainder_bits,
+            "n_threads": self.n_threads,
+        }
+
+    def snapshot_state(self) -> dict:
+        return self.core.export_state()
+
+    def restore_state(self, state) -> None:
+        self.core.import_state(state)
+
     # ---------------------------------------------------------------- analysis
     def active_threads_for(self, n_ops: int) -> int:
         """CPU execution exposes at most ``n_threads`` workers."""

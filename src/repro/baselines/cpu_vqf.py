@@ -21,7 +21,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..core.base import AbstractFilter, FilterCapabilities
+from ..core.base import AbstractFilter, FilterCapabilities, restore_array
 from ..core.exceptions import FilterFullError, UnsupportedOperationError
 from ..core.tcf.block import BlockedTable
 from ..core.tcf.config import EMPTY_SLOT, TOMBSTONE_SLOT, TCFConfig
@@ -145,7 +145,12 @@ class CPUVectorQuotientFilter(AbstractFilter):
             if self.table.insert(block_idx, int(h.fingerprint)):
                 self._n_items += 1
                 return True
-        raise FilterFullError("VQF: both candidate blocks are full")
+        raise FilterFullError(
+            "VQF: both candidate blocks are full",
+            n_items=self._n_items,
+            n_slots=self.table.n_slots,
+            load_factor=self.load_factor,
+        )
 
     def query(self, key: int) -> bool:
         h = potc.derive(
@@ -284,7 +289,13 @@ class CPUVectorQuotientFilter(AbstractFilter):
         )
         self._n_items += len(dest_flat)
         if overflowed:
-            raise FilterFullError("VQF: both candidate blocks are full")
+            raise FilterFullError(
+                "VQF: both candidate blocks are full",
+                n_items=self._n_items,
+                n_slots=self.table.n_slots,
+                load_factor=self.load_factor,
+                batch_offset=len(dest_flat),
+            )
 
     def bulk_insert(self, keys: Sequence[int], values: Optional[Sequence[int]] = None) -> int:
         keys = np.asarray(keys, dtype=np.uint64)
@@ -345,6 +356,20 @@ class CPUVectorQuotientFilter(AbstractFilter):
             elif keys.size:
                 out = self._bulk_query_vectorised(keys)
         return out
+
+    # --------------------------------------------------------------- lifecycle
+    def snapshot_config(self) -> dict:
+        return {"n_slots": self.table.n_slots, "n_threads": self.n_threads}
+
+    def snapshot_state(self) -> dict:
+        return {
+            "table": self.table.slots.peek().copy(),
+            "scalars": np.array([self._n_items], dtype=np.int64),
+        }
+
+    def restore_state(self, state) -> None:
+        restore_array(self.table.slots.peek(), state["table"], "table")
+        self._n_items = int(np.asarray(state["scalars"])[0])
 
     # ---------------------------------------------------------------- analysis
     def active_threads_for(self, n_ops: int) -> int:

@@ -60,11 +60,14 @@ class RankSelectQuotientFilter(AbstractFilter):
         super().__init__(recorder)
         if remainder_bits not in SUPPORTED_REMAINDERS:
             raise CapacityLimitError(
-                f"the RSQF only supports remainders {SUPPORTED_REMAINDERS}, got {remainder_bits}"
+                f"the RSQF only supports remainders {SUPPORTED_REMAINDERS}, got {remainder_bits}",
+                requested=remainder_bits,
             )
         if quotient_bits + remainder_bits > MAX_FINGERPRINT_BITS:
             raise CapacityLimitError(
-                "the RSQF cannot be sized beyond 2^26 items (q + r <= 31)"
+                "the RSQF cannot be sized beyond 2^26 items (q + r <= 31)",
+                requested=quotient_bits + remainder_bits,
+                limit=MAX_FINGERPRINT_BITS,
             )
         self.scheme = FingerprintScheme(quotient_bits, remainder_bits)
         self.core = QuotientFilterCore(
@@ -218,6 +221,19 @@ class RankSelectQuotientFilter(AbstractFilter):
         raise UnsupportedOperationError(
             "the RSQF design could support deletes but the authors do not implement them"
         )
+
+    # --------------------------------------------------------------- lifecycle
+    def snapshot_config(self) -> dict:
+        return {
+            "quotient_bits": self.scheme.quotient_bits,
+            "remainder_bits": self.scheme.remainder_bits,
+        }
+
+    def snapshot_state(self) -> dict:
+        return self.core.export_state()
+
+    def restore_state(self, state) -> None:
+        self.core.import_state(state)
 
     # ---------------------------------------------------------------- analysis
     def active_threads_for(self, n_ops: int, phase: str = "insert") -> int:

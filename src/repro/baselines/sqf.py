@@ -69,12 +69,15 @@ class StandardQuotientFilter(AbstractFilter):
         super().__init__(recorder)
         if remainder_bits not in SUPPORTED_REMAINDERS:
             raise CapacityLimitError(
-                f"the SQF only supports remainders {SUPPORTED_REMAINDERS}, got {remainder_bits}"
+                f"the SQF only supports remainders {SUPPORTED_REMAINDERS}, got {remainder_bits}",
+                requested=remainder_bits,
             )
         if quotient_bits + remainder_bits > MAX_FINGERPRINT_BITS:
             raise CapacityLimitError(
                 f"the SQF requires quotient+remainder <= {MAX_FINGERPRINT_BITS} bits "
-                f"(got {quotient_bits}+{remainder_bits}); it cannot scale beyond 2^26 items"
+                f"(got {quotient_bits}+{remainder_bits}); it cannot scale beyond 2^26 items",
+                requested=quotient_bits + remainder_bits,
+                limit=MAX_FINGERPRINT_BITS,
             )
         self.scheme = FingerprintScheme(quotient_bits, remainder_bits)
         self.core = QuotientFilterCore(
@@ -239,6 +242,19 @@ class StandardQuotientFilter(AbstractFilter):
 
     def get_value(self, key: int) -> Optional[int]:
         raise UnsupportedOperationError("the SQF cannot store values")
+
+    # --------------------------------------------------------------- lifecycle
+    def snapshot_config(self) -> dict:
+        return {
+            "quotient_bits": self.scheme.quotient_bits,
+            "remainder_bits": self.scheme.remainder_bits,
+        }
+
+    def snapshot_state(self) -> dict:
+        return self.core.export_state()
+
+    def restore_state(self, state) -> None:
+        self.core.import_state(state)
 
     # ---------------------------------------------------------------- analysis
     def active_threads_for(self, n_ops: int) -> int:

@@ -1,12 +1,13 @@
 """Core contribution of the paper: the TCF and GQF GPU filters."""
 
-from .base import AbstractFilter, FilterCapabilities
+from .base import AbstractFilter, FilterCapabilities, FilterState
 from .exceptions import (
     CapacityLimitError,
     ConcurrencyError,
     DeletionError,
     FilterError,
     FilterFullError,
+    SnapshotError,
     UnsupportedOperationError,
 )
 from .gqf import BulkGQF, PointGQF, QuotientFilterCore
@@ -15,11 +16,13 @@ from .tcf import BulkTCF, PointTCF, TCFConfig
 __all__ = [
     "AbstractFilter",
     "FilterCapabilities",
+    "FilterState",
     "CapacityLimitError",
     "ConcurrencyError",
     "DeletionError",
     "FilterError",
     "FilterFullError",
+    "SnapshotError",
     "UnsupportedOperationError",
     "BulkGQF",
     "PointGQF",

@@ -22,7 +22,7 @@ SQF for deletions.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -52,6 +52,12 @@ class BulkGQF(AbstractFilter):
         (the Zipfian-count optimisation; harmless for uniform data).
     recorder:
         Optional stats recorder.
+    auto_resize:
+        Grow by quotient extension instead of raising
+        :class:`FilterFullError` (see :class:`PointGQF` for the trade-offs).
+    auto_resize_at:
+        Load-factor threshold for pre-emptive growth (defaults to the
+        recommended load factor).
     """
 
     name = "GQF (bulk)"
@@ -64,6 +70,8 @@ class BulkGQF(AbstractFilter):
         use_mapreduce: bool = False,
         recorder: Optional[StatsRecorder] = None,
         enforce_alignment: bool = True,
+        auto_resize: bool = False,
+        auto_resize_at: Optional[float] = None,
     ) -> None:
         super().__init__(recorder)
         if enforce_alignment and remainder_bits not in PointGQF.SUPPORTED_REMAINDERS:
@@ -78,6 +86,13 @@ class BulkGQF(AbstractFilter):
         self.partition = RegionPartition(self.core.n_canonical_slots, region_slots)
         self.use_mapreduce = bool(use_mapreduce)
         self.kernels = KernelContext(self.recorder)
+        self.auto_resize = bool(auto_resize)
+        self.auto_resize_at = (
+            float(auto_resize_at)
+            if auto_resize_at is not None
+            else self.recommended_load_factor
+        )
+        self.n_resizes = 0
 
     # ------------------------------------------------------------ constructors
     @classmethod
@@ -200,9 +215,22 @@ class BulkGQF(AbstractFilter):
                 agg_counts = np.add.reduceat(sorted_counts, boundaries)
             keys, counts = unique_keys, agg_counts.astype(np.int64)
 
+        self._maybe_grow()
         quotients, remainders, counts = self._sorted_batch(keys, counts)
-        vectorised = not self.core.prefers_sequential(int(keys.size))
+        return self._phased_insert(quotients, remainders, counts)
+
+    def _phased_insert(
+        self, quotients: np.ndarray, remainders: np.ndarray, counts: np.ndarray
+    ) -> int:
+        """Run the even-odd insertion phases over fingerprint-sorted items.
+
+        On overflow with ``auto_resize`` enabled, the not-yet-inserted items
+        are re-split under the grown geometry and the phases restart — exact,
+        because each phase's canonical merge is all-or-nothing.
+        """
+        vectorised = not self.core.prefers_sequential(int(quotients.size))
         inserted = 0
+        done = np.zeros(quotients.size, dtype=bool)
         for parity, (phase_name, regions) in enumerate(
             zip(("even", "odd"), self.partition.phases())
         ):
@@ -218,20 +246,52 @@ class BulkGQF(AbstractFilter):
                             quotients[mask], remainders[mask], counts[mask]
                         )
                         inserted += int(np.count_nonzero(mask))
+                        done |= mask
                         continue
                     except FilterFullError:
+                        if self._can_grow():
+                            return inserted + self._grow_and_reinsert(
+                                quotients, remainders, counts, done
+                            )
                         # The merge is all-or-nothing; replay the phase per
                         # item so an over-capacity batch still fills the
                         # table before raising (callers such as the
                         # benchmark fill loops catch FilterFullError and
                         # measure the filter at capacity).
                         pass
-                for i in np.flatnonzero(mask):
-                    self.core.insert_fingerprint(
-                        int(quotients[i]), int(remainders[i]), int(counts[i])
-                    )
+                for i in np.flatnonzero(mask & ~done):
+                    try:
+                        self.core.insert_fingerprint(
+                            int(quotients[i]), int(remainders[i]), int(counts[i])
+                        )
+                    except FilterFullError:
+                        if not self._can_grow():
+                            raise
+                        return inserted + self._grow_and_reinsert(
+                            quotients, remainders, counts, done
+                        )
                     inserted += 1
+                    done[i] = True
         return inserted
+
+    def _grow_and_reinsert(
+        self,
+        quotients: np.ndarray,
+        remainders: np.ndarray,
+        counts: np.ndarray,
+        done: np.ndarray,
+    ) -> int:
+        """Grow, re-split the pending items, and restart the phases."""
+        pending = ~done
+        fingerprints = self.scheme.join(quotients[pending], remainders[pending])
+        pending_counts = counts[pending]
+        self._grow()
+        new_quotients, new_remainders = self.scheme.split(fingerprints)
+        return self._phased_insert(
+            np.asarray(new_quotients, dtype=np.int64),
+            np.asarray(new_remainders, dtype=np.uint64),
+            pending_counts,
+        )
 
     def bulk_count_items(self, keys: Sequence[int]) -> int:
         """Count (multiset-insert) a batch; alias of :meth:`bulk_insert`."""
@@ -312,6 +372,72 @@ class BulkGQF(AbstractFilter):
 
     def delete(self, key: int) -> bool:
         return self.bulk_delete(np.array([key], dtype=np.uint64)) == 1
+
+    # ------------------------------------------------------------------ resize
+    def resized(self, extra_quotient_bits: int = 1) -> "BulkGQF":
+        """Return a filter with ``2**extra_quotient_bits`` times the slots.
+
+        Quotient extension, exactly as :meth:`PointGQF.resized`: the total
+        fingerprint width stays fixed, so every stored fingerprint re-splits
+        exactly under the wider quotient.
+        """
+        if extra_quotient_bits < 1:
+            raise ValueError("resize must grow the filter")
+        if self.scheme.remainder_bits - extra_quotient_bits < 1:
+            raise ValueError("not enough remainder bits to donate to the quotient")
+        bigger = BulkGQF(
+            self.scheme.quotient_bits + extra_quotient_bits,
+            self.scheme.remainder_bits - extra_quotient_bits,
+            self.partition.region_slots,
+            use_mapreduce=self.use_mapreduce,
+            recorder=self.recorder,
+            enforce_alignment=False,
+            auto_resize=self.auto_resize,
+            auto_resize_at=self.auto_resize_at,
+        )
+        bigger.core = self.core.extended(extra_quotient_bits, name="bulk-gqf-slots")
+        return bigger
+
+    def _can_grow(self) -> bool:
+        return self.auto_resize and self.scheme.remainder_bits > 1
+
+    def _maybe_grow(self) -> None:
+        """Pre-emptive growth once the configured load threshold is crossed."""
+        while (
+            self.auto_resize
+            and self.load_factor >= self.auto_resize_at
+            and self.scheme.remainder_bits > 1
+        ):
+            self._grow()
+
+    def _grow(self, extra_quotient_bits: int = 1) -> None:
+        """Extend the quotient in place (the auto-resize step)."""
+        self.core = self.core.extended(extra_quotient_bits, name="bulk-gqf-slots")
+        self.scheme = FingerprintScheme(
+            self.core.quotient_bits, self.core.remainder_bits
+        )
+        self.partition = RegionPartition(
+            self.core.n_canonical_slots, self.partition.region_slots
+        )
+        self.n_resizes += extra_quotient_bits
+
+    # --------------------------------------------------------------- lifecycle
+    def snapshot_config(self) -> Dict[str, object]:
+        return {
+            "quotient_bits": self.scheme.quotient_bits,
+            "remainder_bits": self.scheme.remainder_bits,
+            "region_slots": self.partition.region_slots,
+            "use_mapreduce": self.use_mapreduce,
+            "enforce_alignment": False,
+            "auto_resize": self.auto_resize,
+            "auto_resize_at": self.auto_resize_at,
+        }
+
+    def snapshot_state(self) -> Dict[str, np.ndarray]:
+        return self.core.export_state()
+
+    def restore_state(self, state: Mapping[str, np.ndarray]) -> None:
+        self.core.import_state(state)
 
     # ---------------------------------------------------------------- analysis
     def active_threads_for(self, n_ops: int) -> int:

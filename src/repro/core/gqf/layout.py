@@ -20,14 +20,14 @@ different configuration and cost models.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ...gpusim.memory import DeviceArray
 from ...gpusim.stats import StatsRecorder
 from ...hashing.fingerprints import FingerprintScheme
-from ..exceptions import FilterFullError
+from ..exceptions import FilterFullError, SnapshotError
 from . import counters
 from .rank_select import Bitvector
 
@@ -222,7 +222,12 @@ class QuotientFilterCore:
     def _first_unused(self, start: int) -> int:
         pos = self.slot_used.next_unset(start)
         if pos is None:
-            raise FilterFullError("quotient filter has no free slots left")
+            raise FilterFullError(
+                "quotient filter has no free slots left",
+                n_items=self.n_distinct_items,
+                n_slots=self.total_slots,
+                load_factor=self.load_factor,
+            )
         return pos
 
     def _shift_right_one(self, pos: int) -> int:
@@ -624,7 +629,15 @@ class QuotientFilterCore:
         run_starts = cum + np.maximum.accumulate(run_q - cum)
         run_ends = run_starts + run_lens - 1
         if int(run_ends[-1]) >= self.total_slots:
-            raise FilterFullError("quotient filter has no free slots left")
+            # How many leading runs fit tells the caller where the batch died.
+            n_fitting = int(np.searchsorted(run_ends, self.total_slots))
+            raise FilterFullError(
+                "quotient filter has no free slots left",
+                n_items=self.n_distinct_items,
+                n_slots=self.total_slots,
+                load_factor=self.load_factor,
+                batch_offset=int(run_first[n_fitting]) if n_fitting < run_first.size else None,
+            )
         pos = np.repeat(run_starts - cum, run_lens) + np.arange(flat.size)
         data = self.slots.peek()
         data[:] = 0
@@ -896,3 +909,83 @@ class QuotientFilterCore:
                 for k in np.flatnonzero(~counters.plain_run_mask(vals, off)):
                     counters.decode_run(vals[off[k] : off[k + 1]].tolist())
         assert np.array_equal(covered, self.slot_used.bits), "slot_used does not match run coverage"
+
+    # -------------------------------------------------------------- lifecycle
+    def decoded_items(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(quotients, remainders, counts)`` sorted by fingerprint.
+
+        Host-side enumeration (like :meth:`iter_fingerprints`, but as whole
+        arrays for the lifecycle merge/resize paths); charges no device
+        traffic.  The arrays are copies — callers may mutate them freely.
+        """
+        item_q, item_r, item_c, _uq, _starts, _lens = self._decode_items()
+        return item_q.copy(), item_r.copy(), item_c.copy()
+
+    def export_state(self) -> "Dict[str, np.ndarray]":
+        """Snapshot the complete table state as named arrays."""
+        return {
+            "slots": self.slots.peek().copy(),
+            "occupieds": self.occupieds.to_words(),
+            "runends": self.runends.to_words(),
+            "slot_used": self.slot_used.to_words(),
+            "scalars": np.array(
+                [self._n_distinct, self._total_count], dtype=np.int64
+            ),
+        }
+
+    def import_state(self, state: "Mapping[str, np.ndarray]") -> None:
+        """Restore the table from :meth:`export_state` output, bit for bit."""
+        slots = np.asarray(state["slots"])
+        data = self.slots.peek()
+        if slots.size != data.size:
+            raise SnapshotError(
+                f"slot section holds {slots.size} slots, table has {data.size}"
+            )
+        data[:] = slots.astype(data.dtype, copy=False)
+        self.occupieds = Bitvector.from_words(state["occupieds"], self.total_slots)
+        self.runends = Bitvector.from_words(state["runends"], self.total_slots)
+        self.slot_used = Bitvector.from_words(state["slot_used"], self.total_slots)
+        scalars = np.asarray(state["scalars"], dtype=np.int64)
+        self._n_distinct = int(scalars[0])
+        self._total_count = int(scalars[1])
+        self._decoded_cache = None
+
+    def extended(
+        self, extra_quotient_bits: int = 1, name: Optional[str] = None
+    ) -> "QuotientFilterCore":
+        """Return a core with ``extra_quotient_bits`` moved from remainder to
+        quotient, holding the same fingerprint multiset.
+
+        This is the quotient filter's resize primitive: the total fingerprint
+        width ``p = q + r`` stays fixed, so every stored ``p``-bit
+        fingerprint re-splits exactly under the wider quotient.  The stored
+        items are enumerated host-side (no device traffic, like
+        :meth:`iter_fingerprints`) and rebuilt into the new table through the
+        canonical sorted merge, which charges the rebuild's calibrated
+        events.
+        """
+        if extra_quotient_bits < 1:
+            raise ValueError("resize must grow the filter")
+        new_r = self.remainder_bits - extra_quotient_bits
+        if new_r < 1:
+            raise ValueError("not enough remainder bits to donate to the quotient")
+        new_q = self.quotient_bits + extra_quotient_bits
+        new_core = QuotientFilterCore(
+            new_q,
+            new_r,
+            self.recorder,
+            counting=self.counting,
+            slot_metadata_packed=self.slot_metadata_packed,
+            name=name if name is not None else self.slots.name,
+        )
+        item_q, item_r, item_c = self.decoded_items()
+        if item_q.size:
+            # Re-split under the new geometry; fingerprint order (and thus
+            # the sorted-batch precondition) is preserved by construction.
+            fingerprints = (
+                item_q.astype(np.uint64) << np.uint64(self.remainder_bits)
+            ) | item_r
+            new_quotients = (fingerprints >> np.uint64(new_r)).astype(np.int64)
+            new_remainders = fingerprints & np.uint64((1 << new_r) - 1)
+            new_core.insert_sorted_batch(new_quotients, new_remainders, item_c)
+        return new_core

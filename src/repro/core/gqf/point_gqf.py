@@ -14,7 +14,7 @@ so the benchmark harness can expose that contention to the perf model.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -45,6 +45,16 @@ class PointGQF(AbstractFilter):
         unit tests).
     recorder:
         Optional stats recorder.
+    auto_resize:
+        Grow the filter by quotient extension instead of raising
+        :class:`FilterFullError` when an insert finds no space (or when the
+        load factor reaches ``auto_resize_at``).  Each growth step doubles
+        the slots and costs one remainder bit, so the false-positive rate
+        doubles per step; resizing stops (and the error is raised again)
+        once the remainder is down to a single bit.
+    auto_resize_at:
+        Load-factor threshold that triggers a pre-emptive grow (defaults to
+        the recommended load factor).  Only meaningful with ``auto_resize``.
     """
 
     name = "GQF"
@@ -57,6 +67,8 @@ class PointGQF(AbstractFilter):
         region_slots: int = DEFAULT_REGION_SLOTS,
         recorder: Optional[StatsRecorder] = None,
         enforce_alignment: bool = True,
+        auto_resize: bool = False,
+        auto_resize_at: Optional[float] = None,
     ) -> None:
         super().__init__(recorder)
         if enforce_alignment and remainder_bits not in self.SUPPORTED_REMAINDERS:
@@ -76,6 +88,13 @@ class PointGQF(AbstractFilter):
         )
         self.kernels = KernelContext(self.recorder)
         self._active_threads = 0
+        self.auto_resize = bool(auto_resize)
+        self.auto_resize_at = (
+            float(auto_resize_at)
+            if auto_resize_at is not None
+            else self.recommended_load_factor
+        )
+        self.n_resizes = 0
 
     # ------------------------------------------------------------ constructors
     @classmethod
@@ -184,9 +203,18 @@ class PointGQF(AbstractFilter):
         return self._insert_count(key, count)
 
     def _insert_count(self, key: int, count: int) -> bool:
-        quotient, remainder = self.scheme.key_to_slot(np.uint64(int(key) & 0xFFFFFFFFFFFFFFFF))
-        self._locked_insert(int(quotient), int(remainder), count)
-        return True
+        while True:
+            self._maybe_grow()
+            quotient, remainder = self.scheme.key_to_slot(
+                np.uint64(int(key) & 0xFFFFFFFFFFFFFFFF)
+            )
+            try:
+                self._locked_insert(int(quotient), int(remainder), count)
+                return True
+            except FilterFullError:
+                if not self._can_grow():
+                    raise
+                self._grow()
 
     def _locked_insert(self, quotient: int, remainder: int, count: int) -> None:
         """One point insert under the pair of region locks."""
@@ -283,21 +311,29 @@ class PointGQF(AbstractFilter):
         return int(keys.size)
 
     def _bulk_insert_vectorised(self, keys: np.ndarray, counts: np.ndarray) -> None:
-        quotients, remainders = self.scheme.key_to_slot(keys)
-        quotients = np.asarray(quotients, dtype=np.int64)
-        remainders = np.asarray(remainders, dtype=np.uint64)
-        order = self._processing_order(quotients, remainders)
-        sq, sr, sc = quotients[order], remainders[order], counts[order]
-        try:
-            self.core.insert_sorted_batch(sq, sr, sc)
-        except FilterFullError:
-            # The merge is all-or-nothing; replay the schedule per item so an
-            # over-capacity batch still fills the table before raising (the
-            # benchmark fill loops catch the error and measure at capacity).
-            for i in range(sq.size):
-                self._locked_insert(int(sq[i]), int(sr[i]), int(sc[i]))
-            raise  # pragma: no cover - the replay above must raise first
-        self._charge_point_locks(sq)
+        while True:
+            self._maybe_grow()
+            quotients, remainders = self.scheme.key_to_slot(keys)
+            quotients = np.asarray(quotients, dtype=np.int64)
+            remainders = np.asarray(remainders, dtype=np.uint64)
+            order = self._processing_order(quotients, remainders)
+            sq, sr, sc = quotients[order], remainders[order], counts[order]
+            try:
+                self.core.insert_sorted_batch(sq, sr, sc)
+            except FilterFullError:
+                # The merge is all-or-nothing, so the table is untouched:
+                # grow and retry the whole batch under the new geometry...
+                if self._can_grow():
+                    self._grow()
+                    continue
+                # ... or replay the schedule per item so an over-capacity
+                # batch still fills the table before raising (the benchmark
+                # fill loops catch the error and measure at capacity).
+                for i in range(sq.size):
+                    self._locked_insert(int(sq[i]), int(sr[i]), int(sc[i]))
+                raise  # pragma: no cover - the replay above must raise first
+            self._charge_point_locks(sq)
+            return
 
     def bulk_query(self, keys: Sequence[int]) -> np.ndarray:
         keys = np.asarray(keys, dtype=np.uint64)
@@ -363,12 +399,61 @@ class PointGQF(AbstractFilter):
             self.partition.region_slots,
             recorder=self.recorder,
             enforce_alignment=False,
+            auto_resize=self.auto_resize,
+            auto_resize_at=self.auto_resize_at,
         )
-        for quotient, remainder, count in self.core.iter_fingerprints():
-            fingerprint = self.scheme.join(quotient, remainder)
-            new_quotient, new_remainder = bigger.scheme.split(int(fingerprint))
-            bigger.core.insert_fingerprint(int(new_quotient), int(new_remainder), count)
+        bigger.core = self.core.extended(extra_quotient_bits, name="gqf-slots")
         return bigger
+
+    def _can_grow(self) -> bool:
+        return self.auto_resize and self.scheme.remainder_bits > 1
+
+    def _maybe_grow(self) -> None:
+        """Pre-emptive growth once the configured load threshold is crossed."""
+        while (
+            self.auto_resize
+            and self.load_factor >= self.auto_resize_at
+            and self.scheme.remainder_bits > 1
+        ):
+            self._grow()
+
+    def _grow(self, extra_quotient_bits: int = 1) -> None:
+        """Extend the quotient in place (the auto-resize step).
+
+        The core is rebuilt at ``2**extra_quotient_bits`` times the slots via
+        the canonical sorted merge, and the locking partition is re-derived
+        for the new table; the filter object itself keeps its identity.
+        """
+        self.core = self.core.extended(extra_quotient_bits, name="gqf-slots")
+        self.scheme = FingerprintScheme(
+            self.core.quotient_bits, self.core.remainder_bits
+        )
+        self.partition = RegionPartition(
+            self.core.n_canonical_slots, self.partition.region_slots
+        )
+        self.locks = SpinLockTable(
+            self.partition.n_regions + 1, self.recorder, cache_aligned=True
+        )
+        self.n_resizes += extra_quotient_bits
+        if self._active_threads:
+            self.set_concurrency(self._active_threads)
+
+    # --------------------------------------------------------------- lifecycle
+    def snapshot_config(self) -> Dict[str, object]:
+        return {
+            "quotient_bits": self.scheme.quotient_bits,
+            "remainder_bits": self.scheme.remainder_bits,
+            "region_slots": self.partition.region_slots,
+            "enforce_alignment": False,
+            "auto_resize": self.auto_resize,
+            "auto_resize_at": self.auto_resize_at,
+        }
+
+    def snapshot_state(self) -> Dict[str, np.ndarray]:
+        return self.core.export_state()
+
+    def restore_state(self, state: Mapping[str, np.ndarray]) -> None:
+        self.core.import_state(state)
 
     # ---------------------------------------------------------------- analysis
     def active_threads_for(self, n_ops: int) -> int:

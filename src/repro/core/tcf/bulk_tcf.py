@@ -54,6 +54,7 @@ from ..exceptions import FilterFullError, UnsupportedOperationError
 from .backing import BackingTable
 from .block import BlockedTable
 from .config import BULK_TCF_DEFAULT, EMPTY_SLOT, TOMBSTONE_SLOT, TCFConfig
+from .lifecycle import TCFLifecycle
 
 #: Batches at or below this size route through the per-item code path; the
 #: whole-table staging of the vectorised path only pays off beyond it (same
@@ -61,7 +62,7 @@ from .config import BULK_TCF_DEFAULT, EMPTY_SLOT, TOMBSTONE_SLOT, TCFConfig
 TCF_SEQUENTIAL_BATCH_MAX = 32
 
 
-class BulkTCF(AbstractFilter):
+class BulkTCF(TCFLifecycle, AbstractFilter):
     """Two-choice filter optimised for batched (bulk) operation.
 
     Parameters
@@ -72,6 +73,13 @@ class BulkTCF(AbstractFilter):
         TCF configuration; defaults to the 16-bit / 64-slot bulk layout.
     recorder:
         Optional stats recorder.
+    auto_resize:
+        Keep a host-side key journal and double-and-rehash instead of
+        raising :class:`FilterFullError` (see
+        :mod:`repro.core.tcf.lifecycle`).
+    auto_resize_at:
+        Load factor triggering a pre-emptive grow (defaults to the config's
+        ``max_load_factor``).
     """
 
     name = "Bulk TCF"
@@ -81,6 +89,8 @@ class BulkTCF(AbstractFilter):
         n_slots: int,
         config: TCFConfig = BULK_TCF_DEFAULT,
         recorder: Optional[StatsRecorder] = None,
+        auto_resize: bool = False,
+        auto_resize_at: Optional[float] = None,
     ) -> None:
         super().__init__(recorder)
         if n_slots <= 0:
@@ -95,6 +105,7 @@ class BulkTCF(AbstractFilter):
         self.backing = BackingTable(n_backing_buckets, config, self.recorder, name="bulk-tcf-backing")
         self._n_items = 0
         self.kernels = KernelContext(self.recorder)
+        self._init_lifecycle(auto_resize, auto_resize_at)
 
     # ------------------------------------------------------------ constructors
     @classmethod
@@ -119,7 +130,7 @@ class BulkTCF(AbstractFilter):
             point_count=False,
             bulk_count=False,
             values=True,
-            resizable=False,
+            resizable=True,
         )
 
     @classmethod
@@ -230,8 +241,10 @@ class BulkTCF(AbstractFilter):
 
         Pass 1 routes every item to its primary block; overflow from full
         blocks is re-routed in pass 2 to the secondary block; anything still
-        left goes to the backing table.  Raises :class:`FilterFullError` only
-        if the backing table also overflows.
+        left goes to the backing table.  Every placeable key is placed before
+        anything is raised; a :class:`FilterFullError` fires only if the
+        backing table also overflows — unless ``auto_resize=True``, in which
+        case the filter grows and retries the unplaced remainder.
         """
         keys = np.asarray(keys, dtype=np.uint64)
         if keys.size == 0:
@@ -239,6 +252,27 @@ class BulkTCF(AbstractFilter):
         if values is None:
             values = np.zeros(keys.size, dtype=np.uint64)
         values = np.asarray(values, dtype=np.uint64)
+        self._maybe_grow()
+        inserted = 0
+        while True:
+            placed = self._bulk_insert_masked(keys, values)
+            self._journal_add_batch(keys[placed], values[placed])
+            inserted += int(np.count_nonzero(placed))
+            if placed.all():
+                return inserted
+            if not self._can_grow():
+                raise FilterFullError(
+                    "bulk TCF full: backing table overflowed during bulk insert",
+                    n_items=self._n_items,
+                    n_slots=self.table.n_slots,
+                    load_factor=self.load_factor,
+                    batch_offset=int(np.argmin(placed)),
+                )
+            self._grow()
+            keys, values = keys[~placed], values[~placed]
+
+    def _bulk_insert_masked(self, keys: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """One whole-batch insert attempt at the current table geometry."""
         h = self._derive_batch(keys)
         words = self._pack_words(h.fingerprint, values)
         if not self._vectorisable(int(keys.size)):
@@ -319,8 +353,9 @@ class BulkTCF(AbstractFilter):
         values: np.ndarray,
         h: potc.PotcHash,
         words: np.ndarray,
-    ) -> int:
+    ) -> np.ndarray:
         positions = np.arange(keys.size)
+        placed_mask = np.ones(keys.size, dtype=bool)
         spilled = self._merge_pass(
             words, h.primary, positions, "bulk_tcf_insert_pass1", scan_all_blocks=True
         )
@@ -338,13 +373,9 @@ class BulkTCF(AbstractFilter):
         if spilled.size:
             placed = self.backing.bulk_insert(keys[spilled], values[spilled])
             inserted += int(np.count_nonzero(placed))
-            if not placed.all():
-                self._n_items += inserted
-                raise FilterFullError(
-                    "bulk TCF full: backing table overflowed during bulk insert"
-                )
+            placed_mask[spilled[~placed]] = False
         self._n_items += inserted
-        return inserted
+        return placed_mask
 
     def _bulk_insert_sequential(
         self,
@@ -352,9 +383,10 @@ class BulkTCF(AbstractFilter):
         values: np.ndarray,
         h: potc.PotcHash,
         words: np.ndarray,
-    ) -> int:
+    ) -> np.ndarray:
         """Per-item two-pass insert (small batches and point wrappers)."""
         inserted = 0
+        placed_mask = np.ones(keys.size, dtype=bool)
         # ---- pass 1: primary blocks --------------------------------------
         order_keys, order_idx = device_sort_by_key(
             h.primary.astype(np.int64), np.arange(keys.size), self.recorder
@@ -413,15 +445,13 @@ class BulkTCF(AbstractFilter):
 
         # ---- pass 3: backing table ------------------------------------------
         for pos in leftovers:
-            if not self.backing.insert(int(keys[pos]), int(values[pos])):
-                self._n_items += inserted
-                raise FilterFullError(
-                    "bulk TCF full: backing table overflowed during bulk insert"
-                )
-            inserted += 1
+            if self.backing.insert(int(keys[pos]), int(values[pos])):
+                inserted += 1
+            else:
+                placed_mask[int(pos)] = False
 
         self._n_items += inserted
-        return inserted
+        return placed_mask
 
     # ---------------------------------------------------------------- bulk query
     def _search_block(self, block_idx: int, fingerprint: int) -> Optional[int]:
@@ -532,9 +562,11 @@ class BulkTCF(AbstractFilter):
                     )
                     tile.replace(np.sort(new_block))
                     self._n_items -= 1
+                    self._journal_remove(int(key))
                     return True
         if self.backing.delete(int(key)):
             self._n_items -= 1
+            self._journal_remove(int(key))
             return True
         return False
 
@@ -617,9 +649,12 @@ class BulkTCF(AbstractFilter):
                         cache_line_writes=int(hits.size),
                     )
                     removed += int(hits.size)
+                    self._journal_remove_batch(keys[pending[hits]])
                 pending = pending[order[~take]]
             if pending.size:
-                removed += int(np.count_nonzero(self.backing.bulk_delete(keys[pending])))
+                backing_removed = self.backing.bulk_delete(keys[pending])
+                removed += int(np.count_nonzero(backing_removed))
+                self._journal_remove_batch(keys[pending[backing_removed]])
         self._n_items -= removed
         return removed
 

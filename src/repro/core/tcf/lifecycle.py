@@ -1,0 +1,185 @@
+"""Shared lifecycle machinery (resize + snapshots) for the TCF family.
+
+The TCF's power-of-two-choice addressing is *not* invertible: the stored
+fingerprint ``((h1 >> 17) ^ (h2 << 3)) & mask`` cannot be mapped back to the
+key, so — unlike the quotient filters, whose tables can be rehashed from the
+stored fingerprints alone — a TCF cannot rebuild itself at a new geometry
+from its own slots.  When resizing is requested (``auto_resize=True``) the
+filter therefore keeps a host-side *journal*: a plain dict mapping each
+inserted key to its stored values.  Growing the filter builds a fresh table
+at twice the slot count and bulk-inserts the journal through the normal
+(event-charged) insert path, so resize cost shows up honestly in the
+simulated hardware counters.
+
+The journal is exact for true deletes; deleting a *false positive* removes a
+stored slot but no journal entry, so after such a delete a resize can
+resurrect at most that one phantom item — the same one the false positive
+already claimed was present.  This mirrors the fundamental limit the paper
+notes for fingerprint filters rather than hiding it.
+
+:class:`TCFLifecycle` is mixed into both :class:`~repro.core.tcf.point_tcf.
+PointTCF` and :class:`~repro.core.tcf.bulk_tcf.BulkTCF`; it relies on the
+attributes they share (``table``, ``backing``, ``config``, ``_n_items``,
+``recorder``) plus the journal state initialised by :meth:`_init_lifecycle`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..base import restore_array
+from ..exceptions import FilterFullError
+from .config import TCFConfig
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+class TCFLifecycle:
+    """Journal-backed resize and snapshot support for the TCF family."""
+
+    # ----------------------------------------------------------------- journal
+    def _init_lifecycle(
+        self, auto_resize: bool, auto_resize_at: Optional[float]
+    ) -> None:
+        self.auto_resize = bool(auto_resize)
+        self.auto_resize_at = float(
+            self.config.max_load_factor if auto_resize_at is None else auto_resize_at
+        )
+        if not 0.0 < self.auto_resize_at <= 1.0:
+            raise ValueError("auto_resize_at must be in (0, 1]")
+        self.n_resizes = 0
+        #: key -> list of stored values; exists only when resizing is on.
+        self._journal: Optional[Dict[int, List[int]]] = {} if self.auto_resize else None
+
+    def _journal_add(self, key: int, value: int) -> None:
+        if self._journal is not None:
+            self._journal.setdefault(int(key) & _MASK64, []).append(int(value))
+
+    def _journal_add_batch(self, keys: np.ndarray, values: np.ndarray) -> None:
+        if self._journal is not None:
+            journal = self._journal
+            for key, value in zip(keys.tolist(), values.tolist()):
+                journal.setdefault(key & _MASK64, []).append(value)
+
+    def _journal_remove(self, key: int) -> None:
+        if self._journal is not None:
+            values = self._journal.get(int(key) & _MASK64)
+            if values:
+                values.pop()
+                if not values:
+                    del self._journal[int(key) & _MASK64]
+
+    def _journal_remove_batch(self, keys: np.ndarray) -> None:
+        if self._journal is not None:
+            for key in keys.tolist():
+                self._journal_remove(key)
+
+    def _journal_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The journal flattened to aligned (keys, values) uint64 arrays."""
+        total = sum(len(values) for values in self._journal.values())
+        keys = np.empty(total, dtype=np.uint64)
+        values = np.empty(total, dtype=np.uint64)
+        cursor = 0
+        for key, stored in self._journal.items():
+            for value in stored:
+                keys[cursor] = key
+                values[cursor] = value
+                cursor += 1
+        return keys, values
+
+    # ------------------------------------------------------------------ resize
+    def _can_grow(self) -> bool:
+        return self._journal is not None
+
+    def _maybe_grow(self) -> None:
+        """Grow ahead of an insert once the configured load factor is hit."""
+        if self._journal is None:
+            return
+        while self.load_factor >= self.auto_resize_at:
+            self._grow()
+
+    def _grow(self) -> None:
+        """Double-and-rehash: rebuild into a fresh table at 2x the slots.
+
+        The rebuild charges its inserts to the shared recorder — resize cost
+        is real work, not an accounting blind spot.  If the doubled table
+        still cannot hold the journal (pathological block skew), the factor
+        doubles again.
+        """
+        keys, values = self._journal_arrays()
+        factor = 2
+        while True:
+            bigger = type(self)(
+                self.table.n_slots * factor, self.config, recorder=self.recorder
+            )
+            try:
+                if keys.size:
+                    bigger.bulk_insert(keys, values)
+            except FilterFullError:
+                factor *= 2
+                continue
+            break
+        self.table = bigger.table
+        self.backing = bigger.backing
+        self._n_items = bigger._n_items
+        if hasattr(self, "_block_lines_cache"):
+            self._block_lines_cache = None
+        self.n_resizes += 1
+
+    # --------------------------------------------------------------- snapshots
+    def snapshot_config(self) -> dict:
+        return {
+            "n_slots": self.table.n_slots,
+            "config": dataclasses.asdict(self.config),
+            "auto_resize": self.auto_resize,
+            "auto_resize_at": self.auto_resize_at,
+        }
+
+    @classmethod
+    def _from_snapshot_config(cls, config: Mapping, recorder=None):
+        return cls(
+            config["n_slots"],
+            TCFConfig(**config["config"]),
+            recorder=recorder,
+            auto_resize=config.get("auto_resize", False),
+            auto_resize_at=config.get("auto_resize_at"),
+        )
+
+    def snapshot_state(self) -> Dict[str, np.ndarray]:
+        state = {
+            "table": self.table.slots.peek().copy(),
+            "backing_keys": self.backing.keys.peek().copy(),
+            "backing_values": self.backing.values.peek().copy(),
+            "scalars": np.array(
+                [self._n_items, self.backing._n_items, self.n_resizes],
+                dtype=np.int64,
+            ),
+        }
+        if self._journal is not None:
+            journal_keys, journal_values = self._journal_arrays()
+            state["journal_keys"] = journal_keys
+            state["journal_values"] = journal_values
+        return state
+
+    def restore_state(self, state: Mapping[str, np.ndarray]) -> None:
+        restore_array(self.table.slots.peek(), state["table"], "table")
+        restore_array(self.backing.keys.peek(), state["backing_keys"], "backing_keys")
+        restore_array(
+            self.backing.values.peek(), state["backing_values"], "backing_values"
+        )
+        scalars = np.asarray(state["scalars"])
+        self._n_items = int(scalars[0])
+        self.backing._n_items = int(scalars[1])
+        self.n_resizes = int(scalars[2]) if scalars.size > 2 else 0
+        if self._journal is not None:
+            self._journal.clear()
+            if "journal_keys" in state:
+                self._journal_add_batch(
+                    np.asarray(state["journal_keys"], dtype=np.uint64),
+                    np.asarray(state["journal_values"], dtype=np.uint64),
+                )
+        if hasattr(self, "_block_lines_cache"):
+            self._block_lines_cache = None

@@ -35,6 +35,7 @@ from ..exceptions import FilterFullError, UnsupportedOperationError
 from .backing import BackingTable
 from .block import BlockedTable
 from .config import EMPTY_SLOT, POINT_TCF_DEFAULT, TOMBSTONE_SLOT, TCFConfig
+from .lifecycle import TCFLifecycle
 
 #: Batches at or below this size route through the per-item loop — the same
 #: crossover the bulk TCF (``TCF_SEQUENTIAL_BATCH_MAX``) and the baselines
@@ -43,7 +44,7 @@ from .config import EMPTY_SLOT, POINT_TCF_DEFAULT, TOMBSTONE_SLOT, TCFConfig
 POINT_SEQUENTIAL_BATCH_MAX = 32
 
 
-class PointTCF(AbstractFilter):
+class PointTCF(TCFLifecycle, AbstractFilter):
     """Two-choice filter with a device-side point API.
 
     Parameters
@@ -54,6 +55,13 @@ class PointTCF(AbstractFilter):
         TCF configuration (fingerprint bits, block size, CG size, ...).
     recorder:
         Optional stats recorder (a fresh one is created if omitted).
+    auto_resize:
+        Keep a host-side key journal and double-and-rehash the table instead
+        of raising :class:`FilterFullError` (see
+        :mod:`repro.core.tcf.lifecycle` for why the journal is needed).
+    auto_resize_at:
+        Load factor that triggers a pre-emptive grow (defaults to the
+        config's ``max_load_factor``).
     """
 
     name = "TCF"
@@ -63,6 +71,8 @@ class PointTCF(AbstractFilter):
         n_slots: int,
         config: TCFConfig = POINT_TCF_DEFAULT,
         recorder: Optional[StatsRecorder] = None,
+        auto_resize: bool = False,
+        auto_resize_at: Optional[float] = None,
     ) -> None:
         super().__init__(recorder)
         if n_slots <= 0:
@@ -78,6 +88,7 @@ class PointTCF(AbstractFilter):
         self._n_items = 0
         self.kernels = KernelContext(self.recorder)
         self._block_lines_cache: Optional[np.ndarray] = None
+        self._init_lifecycle(auto_resize, auto_resize_at)
 
     # ------------------------------------------------------------ constructors
     @classmethod
@@ -103,7 +114,7 @@ class PointTCF(AbstractFilter):
             point_count=False,
             bulk_count=False,
             values=True,
-            resizable=False,
+            resizable=True,
         )
 
     @classmethod
@@ -172,8 +183,24 @@ class PointTCF(AbstractFilter):
         """Insert a key (optionally with a value).
 
         Raises :class:`FilterFullError` if both candidate blocks and the
-        backing table are full.
+        backing table are full; with ``auto_resize=True`` the filter grows
+        instead and the insert always succeeds.
         """
+        self._maybe_grow()
+        while True:
+            try:
+                placed = self._insert_once(key, value)
+            except FilterFullError:
+                if not self._can_grow():
+                    raise
+                self._grow()
+                continue
+            if placed:
+                self._journal_add(int(key), int(value))
+            return placed
+
+    def _insert_once(self, key: int, value: int) -> bool:
+        """One two-choice insert attempt at the current table geometry."""
         h = self._derive(key)
         primary_block = self.table.load_block(h.primary)
         primary_fill = self.table.block_fill(h.primary, primary_block)
@@ -201,8 +228,10 @@ class PointTCF(AbstractFilter):
             self._n_items += 1
             return True
         raise FilterFullError(
-            f"TCF full at load factor {self.load_factor:.3f}: both blocks and "
-            "the backing table rejected the insert"
+            "TCF full: both blocks and the backing table rejected the insert",
+            n_items=self._n_items,
+            n_slots=self.table.n_slots,
+            load_factor=self.load_factor,
         )
 
     # ------------------------------------------------------------------- query
@@ -225,14 +254,13 @@ class PointTCF(AbstractFilter):
     def delete(self, key: int) -> bool:
         """Delete one occurrence of ``key`` by tombstoning its slot."""
         h = self._derive(key)
-        if self.table.delete(h.primary, int(h.fingerprint)):
+        if (
+            self.table.delete(h.primary, int(h.fingerprint))
+            or self.table.delete(h.secondary, int(h.fingerprint))
+            or self.backing.delete(int(key))
+        ):
             self._n_items -= 1
-            return True
-        if self.table.delete(h.secondary, int(h.fingerprint)):
-            self._n_items -= 1
-            return True
-        if self.backing.delete(int(key)):
-            self._n_items -= 1
+            self._journal_remove(int(key))
             return True
         return False
 
@@ -311,13 +339,24 @@ class PointTCF(AbstractFilter):
                     if self.insert(int(key), int(value)):
                         inserted += 1
             elif keys.size:
-                placed = self._bulk_insert_vectorised(keys, values)
-                inserted = int(placed.sum())
-                if not placed.all():
-                    raise FilterFullError(
-                        f"TCF full at load factor {self.load_factor:.3f}: both "
-                        "blocks and the backing table rejected the insert"
-                    )
+                self._maybe_grow()
+                while True:
+                    placed = self._bulk_insert_vectorised(keys, values)
+                    self._journal_add_batch(keys[placed], values[placed])
+                    inserted += int(placed.sum())
+                    if placed.all():
+                        break
+                    if not self._can_grow():
+                        raise FilterFullError(
+                            "TCF full: both blocks and the backing table "
+                            "rejected the insert",
+                            n_items=self._n_items,
+                            n_slots=self.table.n_slots,
+                            load_factor=self.load_factor,
+                            batch_offset=int(np.argmin(placed)),
+                        )
+                    self._grow()
+                    keys, values = keys[~placed], values[~placed]
         return inserted
 
     def bulk_insert_mask(
@@ -344,7 +383,15 @@ class PointTCF(AbstractFilter):
                     except FilterFullError:
                         placed[i] = False
             elif keys.size:
+                self._maybe_grow()
                 placed = self._bulk_insert_vectorised(keys, values)
+                self._journal_add_batch(keys[placed], values[placed])
+                while not placed.all() and self._can_grow():
+                    self._grow()
+                    retry = np.flatnonzero(~placed)
+                    sub = self._bulk_insert_vectorised(keys[retry], values[retry])
+                    self._journal_add_batch(keys[retry[sub]], values[retry[sub]])
+                    placed[retry[sub]] = True
         return placed
 
     def _bulk_insert_vectorised(self, keys: np.ndarray, values: np.ndarray) -> np.ndarray:
@@ -617,6 +664,7 @@ class PointTCF(AbstractFilter):
             backing_removed = self.backing.bulk_delete(keys[backing_idx])
             removed[backing_idx] = backing_removed
             self._n_items -= int(backing_removed.sum())
+        self._journal_remove_batch(keys[removed])
         return int(removed.sum())
 
     # ---------------------------------------------------------------- analysis

@@ -1,0 +1,35 @@
+"""Filter lifecycle layer: snapshots, k-way merge, and online resize.
+
+The paper's headline application (the MetaHipMer k-mer pipeline) assumes
+filters that outlive a single kernel launch: they are saved to disk, shipped
+between nodes, merged, and grown.  This package provides those primitives on
+top of the core filters:
+
+* :mod:`repro.lifecycle.snapshot` — a versioned, checksummed binary snapshot
+  format (``save_filter``/``load_filter``), surfaced as ``filter.save(path)``
+  / ``FilterClass.load(path)`` on every filter;
+* :mod:`repro.lifecycle.merge` — ``merge(*filters)`` streaming k sorted
+  fingerprint runs into a fresh table (counts summed for counting filters,
+  values resolved by policy for the TCF);
+* :mod:`repro.lifecycle.resize` — ``expand(filter)`` plus the machinery
+  behind the filters' ``auto_resize=True`` mode (quotient extension for the
+  GQF family, double-and-rehash for the TCF family).
+"""
+
+from .merge import merge
+from .resize import expand
+from .snapshot import (
+    FORMAT_VERSION,
+    load_filter,
+    read_snapshot,
+    save_filter,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "expand",
+    "load_filter",
+    "merge",
+    "read_snapshot",
+    "save_filter",
+]

@@ -1,0 +1,182 @@
+"""Versioned, checksummed binary snapshots for every filter class.
+
+Layout of a snapshot file::
+
+    prelude   32 bytes, little-endian: 8-byte magic, u32 format version,
+              u32 flags (reserved), u64 header length, u64 CRC-32 of
+              everything after the prelude.
+    header    UTF-8 JSON: the filter's class/module, its
+              ``snapshot_config()`` (constructor arguments for an empty
+              twin), and one descriptor per state section
+              ``{name, dtype, shape, offset, nbytes}`` with offsets
+              relative to the start of the data region.
+    data      the ``snapshot_state()`` arrays, each 64-byte aligned so the
+              file can be ``np.memmap``-ed and every section viewed
+              zero-copy at its native dtype.
+
+The CRC covers the header and all section bytes, so truncated or corrupted
+files fail loudly at load time with :class:`~repro.core.exceptions.
+SnapshotError` instead of restoring a silently wrong filter.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import os
+import struct
+import zlib
+from typing import Dict, Optional, Tuple, Type
+
+import numpy as np
+
+from ..core.base import AbstractFilter, FilterState
+from ..core.exceptions import SnapshotError
+from ..gpusim.stats import StatsRecorder
+
+#: File magic: identifies a repro filter snapshot.
+MAGIC = b"RPROSNAP"
+#: Bumped whenever the binary layout or any filter's section set changes
+#: incompatibly; the golden-snapshot fixture test catches silent breaks.
+FORMAT_VERSION = 1
+#: Section alignment, chosen so memmap views are aligned for every dtype.
+ALIGNMENT = 64
+
+_PRELUDE = struct.Struct("<8sIIQQ")
+
+
+def _align(n: int) -> int:
+    return (n + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+def save_filter(filt: AbstractFilter, path) -> int:
+    """Write ``filt`` to ``path`` in the snapshot format; returns bytes written."""
+    if not isinstance(filt, FilterState):
+        raise SnapshotError(
+            f"{type(filt).__name__} does not implement the FilterState protocol"
+        )
+    sections = []
+    blobs = []
+    offset = 0
+    for name, array in filt.snapshot_state().items():
+        array = np.ascontiguousarray(array)
+        offset = _align(offset)
+        sections.append(
+            {
+                "name": name,
+                "dtype": array.dtype.str,
+                "shape": list(array.shape),
+                "offset": offset,
+                "nbytes": int(array.nbytes),
+            }
+        )
+        blobs.append((offset, array.tobytes()))
+        offset += int(array.nbytes)
+    header = {
+        "class": type(filt).__name__,
+        "module": type(filt).__module__,
+        "format_version": FORMAT_VERSION,
+        "config": filt.snapshot_config(),
+        "sections": sections,
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    data_start = _align(_PRELUDE.size + len(header_bytes))
+    total = data_start + offset
+    buf = bytearray(total)
+    buf[_PRELUDE.size : _PRELUDE.size + len(header_bytes)] = header_bytes
+    for section_offset, blob in blobs:
+        start = data_start + section_offset
+        buf[start : start + len(blob)] = blob
+    checksum = zlib.crc32(bytes(buf[_PRELUDE.size :]))
+    buf[: _PRELUDE.size] = _PRELUDE.pack(
+        MAGIC, FORMAT_VERSION, 0, len(header_bytes), checksum
+    )
+    with open(os.fspath(path), "wb") as fh:
+        fh.write(buf)
+    return total
+
+
+def read_snapshot(path) -> Tuple[dict, Dict[str, np.ndarray]]:
+    """Parse a snapshot into ``(header, {section name: array})``.
+
+    The file is ``np.memmap``-ed copy-on-write and each section returned as
+    a zero-copy view at its native dtype; mutating a view never touches the
+    file.  Raises :class:`SnapshotError` on bad magic, unsupported versions,
+    truncation, or checksum mismatch.
+    """
+    try:
+        buf = np.memmap(os.fspath(path), dtype=np.uint8, mode="c")
+    except ValueError as exc:  # zero-length file
+        raise SnapshotError(f"not a snapshot (empty file): {path}") from exc
+    if buf.size < _PRELUDE.size:
+        raise SnapshotError(f"truncated snapshot (no prelude): {path}")
+    magic, version, _flags, header_len, checksum = _PRELUDE.unpack(
+        bytes(buf[: _PRELUDE.size])
+    )
+    if magic != MAGIC:
+        raise SnapshotError(f"not a repro filter snapshot (bad magic): {path}")
+    if version != FORMAT_VERSION:
+        raise SnapshotError(
+            f"snapshot format version {version} is not supported "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    if buf.size < _PRELUDE.size + header_len:
+        raise SnapshotError(f"truncated snapshot (incomplete header): {path}")
+    if zlib.crc32(buf[_PRELUDE.size :]) != checksum:
+        raise SnapshotError(
+            f"snapshot checksum mismatch (truncated or corrupted file): {path}"
+        )
+    try:
+        header = json.loads(bytes(buf[_PRELUDE.size : _PRELUDE.size + header_len]))
+    except ValueError as exc:
+        raise SnapshotError(f"unreadable snapshot header: {path}") from exc
+    data_start = _align(_PRELUDE.size + int(header_len))
+    arrays: Dict[str, np.ndarray] = {}
+    for section in header["sections"]:
+        start = data_start + int(section["offset"])
+        end = start + int(section["nbytes"])
+        if end > buf.size:
+            raise SnapshotError(
+                f"truncated snapshot (section {section['name']!r} incomplete): {path}"
+            )
+        arrays[section["name"]] = (
+            buf[start:end].view(np.dtype(section["dtype"])).reshape(section["shape"])
+        )
+    return header, arrays
+
+
+def _resolve_class(module: str, name: str) -> Type[AbstractFilter]:
+    if not module.startswith("repro."):
+        raise SnapshotError(
+            f"snapshot names a class outside the repro package: {module}.{name}"
+        )
+    try:
+        cls = getattr(importlib.import_module(module), name)
+    except (ImportError, AttributeError) as exc:
+        raise SnapshotError(f"snapshot names an unknown class {module}.{name}") from exc
+    if not (isinstance(cls, type) and issubclass(cls, AbstractFilter)):
+        raise SnapshotError(f"{module}.{name} is not a filter class")
+    return cls
+
+
+def load_filter(
+    path,
+    expected_class: Optional[Type[AbstractFilter]] = None,
+    recorder: Optional[StatsRecorder] = None,
+) -> AbstractFilter:
+    """Restore the filter stored at ``path``.
+
+    ``expected_class`` (set when loading through a concrete class's
+    ``.load``) guards against restoring a snapshot of a different filter
+    type; ``recorder`` attaches a stats recorder to the restored filter
+    (a fresh one is created otherwise).
+    """
+    header, arrays = read_snapshot(path)
+    cls = _resolve_class(header["module"], header["class"])
+    if expected_class is not None and not issubclass(cls, expected_class):
+        raise SnapshotError(
+            f"snapshot holds a {cls.__name__}, not a {expected_class.__name__}"
+        )
+    filt = cls._from_snapshot_config(header["config"], recorder=recorder)
+    filt.restore_state(arrays)
+    return filt

@@ -7,7 +7,7 @@ Commands
 ``repro run fig3 table2 ...``
     Run the named stages and write artifacts + manifest.
 ``repro reproduce --preset smoke|default|paper``
-    Run all 11 stages (the full paper reproduction).
+    Run all registered stages (the full paper reproduction).
 ``repro check``
     Re-evaluate every stage's paper expectations against the artifacts on
     disk; exits non-zero if any expectation fails.  This is the gate CI
@@ -17,6 +17,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import difflib
 import pathlib
 import sys
 from typing import List, Optional
@@ -24,7 +25,7 @@ from typing import List, Optional
 from .artifacts import DEFAULT_RESULTS_DIR, load_manifest, load_stage_artifact
 from .presets import PRESET_NAMES, PRESETS, get_preset
 from .runner import default_jobs, run_stages
-from .stage import all_stages, get_stage, stage_names
+from .stage import all_stages, stage_names
 
 
 def _add_run_options(parser: argparse.ArgumentParser) -> None:
@@ -88,11 +89,19 @@ def _cmd_list() -> int:
 def _cmd_run(names: List[str], preset_name: str,
              results_dir: pathlib.Path, jobs: int) -> int:
     # Resolve every name up front so typos fail before any stage runs.
-    try:
-        for name in names:
-            get_stage(name)
-    except KeyError as exc:
-        print(f"error: {exc.args[0]}", file=sys.stderr)
+    known = stage_names()
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        for name in unknown:
+            line = f"error: unknown stage {name!r}"
+            matches = difflib.get_close_matches(name, known, n=3, cutoff=0.5)
+            if matches:
+                suggestions = " or ".join(repr(match) for match in matches)
+                line += f" — did you mean {suggestions}?"
+            print(line, file=sys.stderr)
+        print("\navailable stages:", file=sys.stderr)
+        for stage in all_stages():
+            print(f"  {stage.name:<14s} {stage.title}", file=sys.stderr)
         return 2
     preset = get_preset(preset_name)
     if jobs <= 0:

@@ -58,6 +58,11 @@ class Preset:
     #: was ~11x smaller than the timing stage's k-mer workload).
     table3_genome_bp: int
     table3_coverage: float
+    #: Lifecycle stage: log2 slots per filter, keys inserted per filter, and
+    #: the k of the k-way merge.
+    lifecycle_lg: int
+    lifecycle_keys: int
+    lifecycle_merge_k: int
 
     def scaled(self, **overrides: object) -> "Preset":
         """Return a copy with some knobs overridden (used by tests)."""
@@ -86,6 +91,9 @@ PRESETS: Dict[str, Preset] = {
         kmer_coverage=6.0,
         table3_genome_bp=3_000,
         table3_coverage=6.0,
+        lifecycle_lg=10,
+        lifecycle_keys=600,
+        lifecycle_merge_k=3,
     ),
     "default": Preset(
         name="default",
@@ -105,6 +113,9 @@ PRESETS: Dict[str, Preset] = {
         kmer_coverage=10.0,
         table3_genome_bp=3_000,
         table3_coverage=6.0,
+        lifecycle_lg=13,
+        lifecycle_keys=4_000,
+        lifecycle_merge_k=4,
     ),
     "paper": Preset(
         name="paper",
@@ -124,6 +135,9 @@ PRESETS: Dict[str, Preset] = {
         kmer_coverage=12.0,
         table3_genome_bp=6_000,
         table3_coverage=8.0,
+        lifecycle_lg=15,
+        lifecycle_keys=16_000,
+        lifecycle_merge_k=6,
     ),
 }
 

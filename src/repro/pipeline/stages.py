@@ -1,5 +1,5 @@
-"""The 11 registered reproduction stages (Figures 3-6, Tables 1-5,
-ablations, point-path wall-clock timing).
+"""The 12 registered reproduction stages (Figures 3-6, Tables 1-5,
+ablations, point-path wall-clock timing, and the filter lifecycle).
 
 Each stage wraps one driver from :mod:`repro.analysis` / :mod:`repro.apps`:
 its run function executes the functional simulation + perf model at the
@@ -14,6 +14,8 @@ loaded from disk.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import time
 from typing import Dict, List, Tuple
 
@@ -1149,5 +1151,245 @@ register_stage(Stage(
         Expectation("point-paths-stay-vectorised",
                     "point-path wall-clock rates stay above the 50x guard",
                     _timing_rates),
+    ),
+))
+
+
+# --------------------------------------------------------------------------
+# Filter lifecycle: snapshots, k-way merge, online resize
+# --------------------------------------------------------------------------
+def _lifecycle_filters(preset: Preset):
+    """One representative of each lifecycle-bearing family, sized to preset."""
+    from ..baselines import BloomFilter, CPUCountingQuotientFilter
+    from ..core.tcf import BulkTCF
+
+    lg = preset.lifecycle_lg
+    n_slots = 1 << lg
+    return {
+        "gqf_point": PointGQF(lg, 8, recorder=StatsRecorder()),
+        "gqf_bulk": BulkGQF(lg, 8, recorder=StatsRecorder()),
+        "tcf_point": PointTCF(n_slots, recorder=StatsRecorder()),
+        "tcf_bulk": BulkTCF(n_slots, recorder=StatsRecorder()),
+        "bloom": BloomFilter(n_slots * 16, recorder=StatsRecorder()),
+        "cqf_cpu": CPUCountingQuotientFilter(lg, 8, recorder=StatsRecorder()),
+    }
+
+
+def _run_lifecycle(preset: Preset) -> StageOutput:
+    from ..core.exceptions import SnapshotError
+    from ..core.tcf import BulkTCF
+    from ..lifecycle import expand, merge, save_filter
+
+    rng = np.random.default_rng(0x51FE)
+    n_keys = preset.lifecycle_keys
+    # Keys 0/1 collide with the TCF backing store's reserved words and get
+    # displaced there; skipping them keeps the bit-identity check strict.
+    keys = rng.integers(2, 2**63, size=n_keys, dtype=np.uint64)
+
+    snapshot_dir = os.environ.get("REPRO_SNAPSHOT_DIR")
+    rows: List[Dict[str, object]] = []
+    corruption_rejected = True
+    with tempfile.TemporaryDirectory() as tmp:
+        out_dir = snapshot_dir or tmp
+        os.makedirs(out_dir, exist_ok=True)
+        for name, filt in _lifecycle_filters(preset).items():
+            filt.bulk_insert(keys)
+            path = os.path.join(out_dir, f"{name}.rpro")
+            start = time.perf_counter()
+            nbytes = save_filter(filt, path)
+            save_s = time.perf_counter() - start
+            start = time.perf_counter()
+            loaded = type(filt).load(path)
+            load_s = time.perf_counter() - start
+            identical = all(
+                np.array_equal(np.asarray(a), np.asarray(b))
+                for (_, a), (_, b) in zip(
+                    sorted(filt.snapshot_state().items()),
+                    sorted(loaded.snapshot_state().items()),
+                )
+            )
+            queries_match = bool(
+                np.array_equal(filt.bulk_query(keys), loaded.bulk_query(keys))
+            )
+            rows.append({
+                "filter": name,
+                "snapshot_bytes": int(nbytes),
+                "save_s": round(save_s, 6),
+                "load_s": round(load_s, 6),
+                "save_mbps": round(nbytes / max(save_s, 1e-9) / 1e6, 1),
+                "load_mbps": round(nbytes / max(load_s, 1e-9) / 1e6, 1),
+                "bit_identical": bool(identical),
+                "queries_match": queries_match,
+            })
+        # Corruption detection: a truncated snapshot must be rejected.
+        probe = os.path.join(tmp, "truncated.rpro")
+        small = PointGQF(8, 8, recorder=StatsRecorder())
+        small.bulk_insert(keys[:64])
+        size = save_filter(small, probe)
+        with open(probe, "r+b") as fh:
+            fh.truncate(size - 16)
+        try:
+            PointGQF.load(probe)
+            corruption_rejected = False
+        except SnapshotError:
+            pass
+
+    # k-way merge: k disjoint shards vs one filter fed the union.
+    k = preset.lifecycle_merge_k
+    shards = np.array_split(keys, k)
+    gqf_parts = []
+    for shard in shards:
+        part = BulkGQF(preset.lifecycle_lg, 8, recorder=StatsRecorder())
+        part.bulk_insert(shard)
+        gqf_parts.append(part)
+    start = time.perf_counter()
+    gqf_merged = merge(*gqf_parts)
+    gqf_merge_s = time.perf_counter() - start
+    reference = BulkGQF(gqf_merged.scheme.quotient_bits,
+                        gqf_merged.scheme.remainder_bits,
+                        recorder=StatsRecorder(), enforce_alignment=False)
+    reference.bulk_insert(keys)
+    gqf_merge_exact = bool(
+        np.array_equal(
+            gqf_merged.core.slots.peek(), reference.core.slots.peek()
+        )
+    ) and bool(gqf_merged.bulk_query(keys).all())
+
+    tcf_parts = []
+    for shard in shards:
+        part = BulkTCF(1 << preset.lifecycle_lg, recorder=StatsRecorder(),
+                       auto_resize=True)
+        part.bulk_insert(shard)
+        tcf_parts.append(part)
+    start = time.perf_counter()
+    tcf_merged = merge(*tcf_parts)
+    tcf_merge_s = time.perf_counter() - start
+    tcf_merge_complete = bool(tcf_merged.bulk_query(keys).all())
+
+    # Online resize: fill far past the initial capacity.
+    resize_tcf = PointTCF(256, recorder=StatsRecorder(), auto_resize=True)
+    start = time.perf_counter()
+    resize_tcf.bulk_insert(keys)
+    tcf_resize_s = time.perf_counter() - start
+    tcf_resize_ok = bool(resize_tcf.bulk_query(keys).all())
+
+    # Start at a quarter of the key count so growth is unavoidable (the
+    # core's overflow region can absorb ~25% past the canonical slots).
+    start_lg = max(4, int(np.log2(max(16, n_keys // 4))))
+    resize_gqf = PointGQF(start_lg, 16, recorder=StatsRecorder(), auto_resize=True)
+    start = time.perf_counter()
+    resize_gqf.bulk_insert(keys)
+    gqf_resize_s = time.perf_counter() - start
+    gqf_resize_ok = bool(resize_gqf.bulk_query(keys).all())
+    expanded = expand(gqf_parts[0])
+    expand_ok = (
+        expanded.n_slots == 2 * gqf_parts[0].n_slots
+        and bool(expanded.bulk_query(shards[0]).all())
+    )
+
+    data = {
+        "preset": preset.name,
+        "n_keys": int(n_keys),
+        "merge_k": int(k),
+        "snapshots": rows,
+        "corruption_rejected": corruption_rejected,
+        "snapshot_dir": snapshot_dir or "",
+        "gqf_merge": {"seconds": round(gqf_merge_s, 6), "exact": gqf_merge_exact,
+                      "quotient_bits": int(gqf_merged.scheme.quotient_bits)},
+        "tcf_merge": {"seconds": round(tcf_merge_s, 6),
+                      "complete": tcf_merge_complete,
+                      "n_slots": int(tcf_merged.table.n_slots)},
+        "tcf_resize": {"seconds": round(tcf_resize_s, 6), "ok": tcf_resize_ok,
+                       "n_resizes": int(resize_tcf.n_resizes),
+                       "n_slots": int(resize_tcf.table.n_slots)},
+        "gqf_resize": {"seconds": round(gqf_resize_s, 6), "ok": gqf_resize_ok,
+                       "n_resizes": int(resize_gqf.n_resizes),
+                       "quotient_bits": int(resize_gqf.scheme.quotient_bits)},
+        "explicit_expand_ok": bool(expand_ok),
+    }
+    lines = [
+        "Filter lifecycle: snapshot round trips, k-way merge, online resize",
+        f"  {n_keys} keys per filter, {k}-way merge, preset {preset.name!r}",
+        "",
+        f"  {'filter':<12s} {'bytes':>10s} {'save MB/s':>10s} {'load MB/s':>10s} "
+        f"{'identical':>10s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"  {row['filter']:<12s} {row['snapshot_bytes']:>10d} "
+            f"{row['save_mbps']:>10.1f} {row['load_mbps']:>10.1f} "
+            f"{str(row['bit_identical']):>10s}"
+        )
+    lines += [
+        "",
+        f"  truncated snapshot rejected: {corruption_rejected}",
+        f"  GQF {k}-way merge: exact={gqf_merge_exact} "
+        f"({gqf_merge_s:.4f}s, q={data['gqf_merge']['quotient_bits']})",
+        f"  TCF {k}-way merge: complete={tcf_merge_complete} "
+        f"({tcf_merge_s:.4f}s, {data['tcf_merge']['n_slots']} slots)",
+        f"  TCF online resize: {data['tcf_resize']['n_resizes']} doublings to "
+        f"{data['tcf_resize']['n_slots']} slots, membership intact={tcf_resize_ok}",
+        f"  GQF online resize: q grew to {data['gqf_resize']['quotient_bits']}, "
+        f"membership intact={gqf_resize_ok}",
+    ]
+    return StageOutput(data=data, reports={"lifecycle": "\n".join(lines)})
+
+
+def _lifecycle_roundtrip(data: dict) -> Tuple[bool, str]:
+    bad = [r["filter"] for r in data["snapshots"]
+           if not (r["bit_identical"] and r["queries_match"])]
+    if bad:
+        return False, f"snapshot round trip not bit-identical for: {', '.join(bad)}"
+    return True, "every filter family round-trips through save/load bit-identically"
+
+
+def _lifecycle_corruption(data: dict) -> Tuple[bool, str]:
+    if not data["corruption_rejected"]:
+        return False, "a truncated snapshot loaded without error"
+    return True, "the checksum rejects truncated snapshots"
+
+
+def _lifecycle_merge(data: dict) -> Tuple[bool, str]:
+    if not data["gqf_merge"]["exact"]:
+        return False, "the merged GQF differs from a filter fed the union"
+    if not data["tcf_merge"]["complete"]:
+        return False, "the merged TCF lost members"
+    return True, "k-way merge preserves membership (GQF merge is bit-exact)"
+
+
+def _lifecycle_resize(data: dict) -> Tuple[bool, str]:
+    tcf, gqf = data["tcf_resize"], data["gqf_resize"]
+    if not (tcf["ok"] and tcf["n_resizes"] > 0):
+        return False, "the TCF did not absorb an over-capacity insert stream"
+    if not (gqf["ok"] and gqf["n_resizes"] > 0):
+        return False, "the GQF did not absorb an over-capacity insert stream"
+    if not data["explicit_expand_ok"]:
+        return False, "expand() did not double the filter or lost members"
+    return True, "filters filled past capacity grow online instead of raising"
+
+
+register_stage(Stage(
+    name="lifecycle",
+    title="Filter lifecycle: snapshots, k-way merge, online resize",
+    kind="ablation",
+    description="Exercises the lifecycle layer the MetaHipMer pipeline "
+                "assumes: versioned zero-copy snapshots for every filter, "
+                "k-way sorted-run merges, and load-factor-triggered online "
+                "resizing for the GQF and TCF cores.",
+    run=_run_lifecycle,
+    serial=True,
+    expectations=(
+        Expectation("snapshot-roundtrip-bit-identical",
+                    "save/load round-trips every filter family bit-identically",
+                    _lifecycle_roundtrip),
+        Expectation("snapshot-detects-corruption",
+                    "the CRC rejects truncated snapshot files",
+                    _lifecycle_corruption),
+        Expectation("merge-preserves-membership",
+                    "k-way merges preserve membership and counts",
+                    _lifecycle_merge),
+        Expectation("resize-absorbs-overflow",
+                    "over-capacity insert streams trigger online growth",
+                    _lifecycle_resize),
     ),
 ))

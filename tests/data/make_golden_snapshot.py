@@ -1,0 +1,33 @@
+"""Regenerate the golden snapshot fixture (run from the repo root).
+
+The fixture pins snapshot FORMAT_VERSION 1: ``test_golden_snapshot_still_loads``
+reads it on every CI python version, so an accidental change to the binary
+layout or to PointGQF's section set fails loudly.  Regenerate only on an
+intentional format bump::
+
+    PYTHONPATH=src python tests/data/make_golden_snapshot.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.core.gqf import PointGQF
+
+OUT = pathlib.Path(__file__).parent / "golden_pointgqf_v1.rpro"
+
+
+def main() -> None:
+    filt = PointGQF(8, 8)
+    keys = np.arange(2, 202, dtype=np.uint64)
+    filt.bulk_insert(keys)
+    filt.insert(2)
+    filt.insert(2)
+    nbytes = filt.save(OUT)
+    print(f"wrote {OUT} ({nbytes} bytes)")
+
+
+if __name__ == "__main__":
+    main()

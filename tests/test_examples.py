@@ -22,6 +22,7 @@ EXAMPLES = [
     ("quickstart.py", "Two-Choice Filter"),
     ("kmer_counting.py", "counting k-mers in the GQF"),
     ("database_join_filter.py", "semi-join pre-filter"),
+    ("filter_persistence.py", "bit-identical"),
 ]
 
 

@@ -22,16 +22,17 @@ from repro.pipeline import (
 )
 from repro.pipeline.stage import _REGISTRY
 
-#: Every figure/table of the paper, in registration (paper) order.
+#: Every figure/table of the paper, in registration (paper) order,
+#: plus the lifecycle (snapshot/merge/resize) stage.
 EXPECTED_STAGES = [
     "fig3", "fig4", "fig5", "fig6",
     "table1", "table2", "table3", "table4", "table5",
-    "ablations", "point_timing",
+    "ablations", "point_timing", "lifecycle",
 ]
 
 
 class TestRegistry:
-    def test_all_eleven_stages_registered(self):
+    def test_all_twelve_stages_registered(self):
         assert stage_names() == EXPECTED_STAGES
 
     def test_round_trip(self):
