@@ -1,0 +1,19 @@
+"""Filter service benchmarks: fault-tolerant bulk-job traffic.
+
+Thin wrapper over the ``service`` pipeline stage (``python -m repro run
+service``), which drives mixed multi-tenant traffic through the bulk-job
+service twice — once clean, once under seeded fault injection with a
+crash/recovery episode — and gates the robustness invariants:
+
+* every accepted job reaches a terminal state (clean and faulty);
+* no lost acks and no duplicate effects, even across retries, filter
+  growth, LRU eviction and a torn-snapshot recovery;
+* resubmitting a finished request ID is idempotent, in-process and across
+  the simulated crash/restart;
+* the faulty run still lands ≥90% goodput on growable tenants with bounded
+  p99 latency.
+"""
+
+
+def test_service(run_stage):
+    run_stage("service")

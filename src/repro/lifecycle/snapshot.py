@@ -25,6 +25,7 @@ import importlib
 import json
 import os
 import struct
+import tempfile
 import zlib
 from typing import Dict, Optional, Tuple, Type
 
@@ -49,8 +50,47 @@ def _align(n: int) -> int:
     return (n + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
 
 
+def _write_stream(fh, data: bytes) -> None:
+    """Single seam through which snapshot bytes reach the file.
+
+    Exists so the fault-injection harness (:func:`repro.service.faults.
+    torn_snapshot_writes`) can kill a save mid-stream and prove the atomic
+    rename protects the previous snapshot.
+    """
+    fh.write(data)
+
+
+def _atomic_write(path, data: bytes) -> None:
+    """Write ``data`` to ``path`` crash-safely.
+
+    The bytes go to a same-directory temp file (so the final ``os.replace``
+    is a same-filesystem atomic rename), are fsynced, and only then moved
+    onto the destination — an interrupted save can never leave a torn
+    snapshot behind, only the old file or the complete new one.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            _write_stream(fh, data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+
+
 def save_filter(filt: AbstractFilter, path) -> int:
-    """Write ``filt`` to ``path`` in the snapshot format; returns bytes written."""
+    """Write ``filt`` to ``path`` in the snapshot format; returns bytes written.
+
+    The write is crash-safe: bytes land in a same-directory temp file that is
+    atomically renamed onto ``path``, so an interrupted save leaves any
+    previous snapshot at ``path`` intact.
+    """
     if not isinstance(filt, FilterState):
         raise SnapshotError(
             f"{type(filt).__name__} does not implement the FilterState protocol"
@@ -91,8 +131,7 @@ def save_filter(filt: AbstractFilter, path) -> int:
     buf[: _PRELUDE.size] = _PRELUDE.pack(
         MAGIC, FORMAT_VERSION, 0, len(header_bytes), checksum
     )
-    with open(os.fspath(path), "wb") as fh:
-        fh.write(buf)
+    _atomic_write(path, bytes(buf))
     return total
 
 
@@ -132,17 +171,57 @@ def read_snapshot(path) -> Tuple[dict, Dict[str, np.ndarray]]:
         raise SnapshotError(f"unreadable snapshot header: {path}") from exc
     data_start = _align(_PRELUDE.size + int(header_len))
     arrays: Dict[str, np.ndarray] = {}
-    for section in header["sections"]:
-        start = data_start + int(section["offset"])
-        end = start + int(section["nbytes"])
-        if end > buf.size:
-            raise SnapshotError(
-                f"truncated snapshot (section {section['name']!r} incomplete): {path}"
-            )
-        arrays[section["name"]] = (
-            buf[start:end].view(np.dtype(section["dtype"])).reshape(section["shape"])
-        )
+    sections = header.get("sections")
+    if not isinstance(sections, list):
+        raise SnapshotError(f"snapshot header carries no section list: {path}")
+    for section in sections:
+        arrays[section["name"]] = _view_section(buf, data_start, section, path)
     return header, arrays
+
+
+def _view_section(
+    buf: np.ndarray, data_start: int, section: dict, path
+) -> np.ndarray:
+    """Validate one header section descriptor and return its memmap view.
+
+    Every geometry claim in the descriptor — offset, byte count, dtype and
+    shape — is checked against the actual file size *before* a view is
+    created, so a crafted or truncated header raises :class:`SnapshotError`
+    instead of a raw ``ValueError`` or an out-of-bounds view.
+    """
+    name = section.get("name", "<unnamed>")
+    try:
+        offset = int(section["offset"])
+        nbytes = int(section["nbytes"])
+        dtype = np.dtype(section["dtype"])
+        shape = tuple(int(dim) for dim in section["shape"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SnapshotError(
+            f"malformed snapshot section {name!r} descriptor: {path}"
+        ) from exc
+    if offset < 0 or nbytes < 0 or any(dim < 0 for dim in shape):
+        raise SnapshotError(
+            f"snapshot section {name!r} has negative geometry: {path}"
+        )
+    n_elements = int(np.prod(shape, dtype=np.int64)) if shape else 1
+    if n_elements * dtype.itemsize != nbytes:
+        raise SnapshotError(
+            f"snapshot section {name!r} claims {nbytes} bytes but its "
+            f"dtype/shape describe {n_elements * dtype.itemsize}: {path}"
+        )
+    start = data_start + offset
+    end = start + nbytes
+    if end > buf.size:
+        raise SnapshotError(
+            f"truncated snapshot (section {name!r} incomplete): {path}"
+        )
+    try:
+        return buf[start:end].view(dtype).reshape(shape)
+    except ValueError as exc:
+        raise SnapshotError(
+            f"snapshot section {name!r} cannot be viewed as "
+            f"{dtype.str}{list(shape)}: {path}"
+        ) from exc
 
 
 def _resolve_class(module: str, name: str) -> Type[AbstractFilter]:

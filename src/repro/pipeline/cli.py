@@ -42,6 +42,11 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         help="worker processes; 0 = one per stage capped at the CPU count, "
              "1 = run in-process (default: %(default)s)",
     )
+    parser.add_argument(
+        "--retries", type=int, default=0,
+        help="re-run stages that failed transiently up to N extra times "
+             "before the manifest records them as failed (default: %(default)s)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -87,7 +92,7 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(names: List[str], preset_name: str,
-             results_dir: pathlib.Path, jobs: int) -> int:
+             results_dir: pathlib.Path, jobs: int, retries: int = 0) -> int:
     # Resolve every name up front so typos fail before any stage runs.
     known = stage_names()
     unknown = [name for name in names if name not in known]
@@ -106,7 +111,8 @@ def _cmd_run(names: List[str], preset_name: str,
     preset = get_preset(preset_name)
     if jobs <= 0:
         jobs = default_jobs(len(names))
-    manifest = run_stages(names, preset, results_dir, jobs=jobs, progress=print)
+    manifest = run_stages(names, preset, results_dir, jobs=jobs, progress=print,
+                          retries=retries)
     totals = manifest["totals"]
     print(
         f"\n{totals['ok']}/{totals['stages']} stages ok, "
@@ -185,9 +191,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.stages, args.preset, args.results_dir, args.jobs)
+        return _cmd_run(args.stages, args.preset, args.results_dir, args.jobs,
+                        args.retries)
     if args.command == "reproduce":
-        return _cmd_run(stage_names(), args.preset, args.results_dir, args.jobs)
+        return _cmd_run(stage_names(), args.preset, args.results_dir, args.jobs,
+                        args.retries)
     if args.command == "check":
         return _cmd_check(args.results_dir)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -63,6 +63,11 @@ class Preset:
     lifecycle_lg: int
     lifecycle_keys: int
     lifecycle_merge_k: int
+    #: Service stage: simulated clients, jobs each, and keys per job for the
+    #: clean and faulty mixed-traffic runs.
+    service_clients: int
+    service_jobs_per_client: int
+    service_keys_per_job: int
 
     def scaled(self, **overrides: object) -> "Preset":
         """Return a copy with some knobs overridden (used by tests)."""
@@ -94,6 +99,9 @@ PRESETS: Dict[str, Preset] = {
         lifecycle_lg=10,
         lifecycle_keys=600,
         lifecycle_merge_k=3,
+        service_clients=8,
+        service_jobs_per_client=10,
+        service_keys_per_job=48,
     ),
     "default": Preset(
         name="default",
@@ -116,6 +124,9 @@ PRESETS: Dict[str, Preset] = {
         lifecycle_lg=13,
         lifecycle_keys=4_000,
         lifecycle_merge_k=4,
+        service_clients=16,
+        service_jobs_per_client=16,
+        service_keys_per_job=128,
     ),
     "paper": Preset(
         name="paper",
@@ -138,6 +149,9 @@ PRESETS: Dict[str, Preset] = {
         lifecycle_lg=15,
         lifecycle_keys=16_000,
         lifecycle_merge_k=6,
+        service_clients=32,
+        service_jobs_per_client=24,
+        service_keys_per_job=256,
     ),
 }
 

@@ -92,12 +92,17 @@ def run_stages(
     results_dir: pathlib.Path,
     jobs: int = 1,
     progress: Optional[Callable[[str], None]] = None,
+    retries: int = 0,
 ) -> dict:
     """Run the named stages, write artifacts + manifest, return the manifest.
 
     ``jobs > 1`` fans the stages out across processes.  Stage failures do
     not abort the run; they are recorded with status ``"failed"`` in the
-    manifest (the CLI turns them into a non-zero exit).
+    manifest (the CLI turns them into a non-zero exit).  ``retries`` re-runs
+    failed stages (in-process, up to that many extra attempts each) before
+    the manifest is finalized, so transient failures — a worker killed by
+    the OS, a flaky timing assertion — do not fail the whole run; the
+    manifest records the attempt count per stage.
     """
     from .stage import StageOutput  # local import: keep module load light
 
@@ -142,7 +147,13 @@ def run_stages(
                     name = pending.pop(future)
                     try:
                         finish(future.result())
-                    except Exception:  # noqa: BLE001 - worker died hard
+                    except Exception as exc:  # noqa: BLE001 - worker died hard
+                        # The worker process died without returning a record
+                        # (OOM-kill, segfault, broken pool).  Preserve the
+                        # full exception chain — for exceptions that crossed
+                        # the pool boundary it embeds the worker-side
+                        # traceback — so the manifest says *why*, not just
+                        # that it failed.
                         finish({
                             "name": name,
                             "title": get_stage(name).title,
@@ -150,11 +161,31 @@ def run_stages(
                             "artifact": stage_artifact_name(name),
                             "status": "failed",
                             "duration_s": 0.0,
-                            "error": traceback.format_exc(),
+                            "died_hard": True,
+                            "error": "".join(
+                                traceback.format_exception(
+                                    type(exc), exc, exc.__traceback__
+                                )
+                            ),
                         })
         for name in drained:
             notify(f"running {name} (preset {preset.name}, uncontended)...")
             finish(execute_stage(name, preset))
+
+    # Transient-failure policy: re-run failed stages in-process before the
+    # manifest is finalized, recording how many attempts each one took.
+    for record in records.values():
+        record.setdefault("attempts", 1)
+    for _ in range(max(0, retries)):
+        failed = [name for name in names
+                  if records.get(name, {}).get("status") == "failed"]
+        if not failed:
+            break
+        for name in failed:
+            attempts = records[name].get("attempts", 1) + 1
+            notify(f"retrying {name} (attempt {attempts}, preset {preset.name})...")
+            finish(execute_stage(name, preset))
+            records[name]["attempts"] = attempts
 
     ordered: List[dict] = [records[name] for name in names if name in records]
     write_manifest(results_dir, preset.name, ordered, started_at, time.time())

@@ -1393,3 +1393,198 @@ register_stage(Stage(
                     _lifecycle_resize),
     ),
 ))
+
+
+# --------------------------------------------------------------------------
+# Filter service: fault-tolerant bulk-job traffic, clean and under chaos
+# --------------------------------------------------------------------------
+def _run_service(preset: Preset) -> StageOutput:
+    from ..service import FaultConfig, TrafficConfig, run_traffic
+
+    traffic = TrafficConfig(
+        n_clients=preset.service_clients,
+        jobs_per_client=preset.service_jobs_per_client,
+        keys_per_job=preset.service_keys_per_job,
+    )
+    # CI exports REPRO_JOURNAL_DIR to upload the chaos run's job journal as
+    # a build artifact; locally a temp dir is used and discarded.
+    journal_root = os.environ.get("REPRO_JOURNAL_DIR")
+    with tempfile.TemporaryDirectory() as tmp:
+        clean = run_traffic(
+            os.path.join(tmp, "clean"),
+            traffic=traffic,
+            faults=FaultConfig(),
+            with_recovery=False,
+        )
+        faulty_dir = journal_root or os.path.join(tmp, "faulty")
+        os.makedirs(faulty_dir, exist_ok=True)
+        faulty = run_traffic(
+            faulty_dir,
+            traffic=traffic,
+            faults=FaultConfig(
+                seed=0xC0A5,
+                worker_crash_rate=0.25,
+                slow_batch_rate=0.20,
+                slow_batch_s=0.002,
+                filter_full_rate=0.15,
+            ),
+            with_recovery=True,
+        )
+
+    data = {
+        "preset": preset.name,
+        "n_jobs": int(traffic.n_clients * traffic.jobs_per_client),
+        "keys_per_job": int(traffic.keys_per_job),
+        "clean": clean,
+        "faulty": faulty,
+    }
+    lines = [
+        "Filter service: bulk-job traffic, clean and under fault injection",
+        f"  {traffic.n_clients} clients x {traffic.jobs_per_client} jobs x "
+        f"{traffic.keys_per_job} keys, preset {preset.name!r}",
+        "",
+        f"  {'run':<8s} {'jobs/s':>9s} {'keys/s':>11s} {'p50 ms':>8s} "
+        f"{'p99 ms':>8s} {'goodput':>8s} {'lost':>5s} {'dup':>5s}",
+    ]
+    for label, run in (("clean", clean), ("faulty", faulty)):
+        lines.append(
+            f"  {label:<8s} {run['jobs_per_s']:>9.1f} {run['keys_per_s']:>11.1f} "
+            f"{run['latency_p50_s'] * 1e3:>8.2f} {run['latency_p99_s'] * 1e3:>8.2f} "
+            f"{run['goodput']:>8.4f} {run['lost_acks']:>5d} "
+            f"{run['duplicate_effects']:>5d}"
+        )
+    recovery = faulty.get("recovery", {})
+    lines += [
+        "",
+        f"  statuses (faulty): {faulty['status_counts']}",
+        f"  faults fired: {faulty['faults_fired']}",
+        f"  registry (faulty): {faulty['registry']}",
+        f"  recovery: torn={recovery.get('torn_tenant')!r} "
+        f"recreated={recovery.get('recreated')} "
+        f"lost_after_recovery={recovery.get('lost_after_recovery')} "
+        f"idempotent_across_restart={recovery.get('idempotent_across_restart')}",
+    ]
+    return StageOutput(data=data, reports={"service": "\n".join(lines)})
+
+
+def _service_all_terminal(data: dict) -> Tuple[bool, str]:
+    for label in ("clean", "faulty"):
+        run = data[label]
+        if not run["drained"] or run["non_terminal"]:
+            return False, (
+                f"{label} run left {run['non_terminal']} job(s) non-terminal "
+                f"(drained={run['drained']})"
+            )
+    return True, "every submitted job reached a terminal state in both runs"
+
+
+def _service_effects_exact(data: dict) -> Tuple[bool, str]:
+    for label in ("clean", "faulty"):
+        run = data[label]
+        if run["lost_acks"] or run["duplicate_effects"]:
+            return False, (
+                f"{label} run: {run['lost_acks']} lost ack(s), "
+                f"{run['duplicate_effects']} duplicated effect(s)"
+            )
+    recovery = data["faulty"].get("recovery", {})
+    if recovery.get("lost_after_recovery", 0):
+        return False, (
+            f"{recovery['lost_after_recovery']} acked key(s) missing after "
+            f"journal recovery"
+        )
+    return True, (
+        "no lost acks and no duplicated effects, including across the "
+        "torn-snapshot crash recovery"
+    )
+
+
+def _service_idempotent(data: dict) -> Tuple[bool, str]:
+    if not data["clean"]["idempotent_resubmits"]:
+        return False, "clean-run resubmission returned a different result"
+    if not data["faulty"]["idempotent_resubmits"]:
+        return False, "faulty-run resubmission returned a different result"
+    recovery = data["faulty"].get("recovery", {})
+    if not recovery.get("idempotent_across_restart", False):
+        return False, "a pre-crash request ID was re-executed after recovery"
+    return True, (
+        "request-ID resubmission returns the original result, in-process "
+        "and across crash recovery"
+    )
+
+
+def _service_absorbs_faults(data: dict) -> Tuple[bool, str]:
+    faulty = data["faulty"]
+    fired = sum(faulty["faults_fired"].values())
+    if fired == 0:
+        return False, "the chaos run injected no faults (harness misconfigured)"
+    # Growable tenants must ack everything; the fixed-capacity tenant is
+    # designed to fill (that is the PARTIAL-path exercise), so it is held to
+    # the overall goodput floor only.
+    if data["clean"]["goodput_growable"] < 1.0:
+        return False, (
+            f"clean growable goodput {data['clean']['goodput_growable']} < 1.0: "
+            f"keys were lost without any injected faults"
+        )
+    # Bounded retries may legitimately exhaust on an unlucky batch, so the
+    # chaos run gets a small margin rather than an exact-1.0 gate.
+    if faulty["goodput_growable"] < 0.9:
+        return False, (
+            f"faulty growable goodput {faulty['goodput_growable']} < 0.9: "
+            f"retries did not absorb the injected faults"
+        )
+    if faulty["goodput"] < 0.5:
+        return False, (
+            f"faulty overall goodput {faulty['goodput']} < 0.5"
+        )
+    return True, (
+        f"{fired} injected fault(s) absorbed: clean growable goodput 1.0, "
+        f"faulty growable goodput {faulty['goodput_growable']}"
+    )
+
+
+def _service_bounded_p99(data: dict) -> Tuple[bool, str]:
+    # A hang gate, not a perf benchmark: the bound scales with the preset's
+    # traffic volume (the submission burst is closed-loop, so tail latency
+    # tracks the drain makespan).
+    bound_s = max(5.0, data["n_jobs"] * data["keys_per_job"] / 1000.0)
+    for label in ("clean", "faulty"):
+        p99 = data[label]["latency_p99_s"]
+        if p99 > bound_s:
+            return False, f"{label} p99 latency {p99:.3f}s exceeds {bound_s}s"
+    return True, (
+        f"p99 latency bounded (clean {data['clean']['latency_p99_s'] * 1e3:.1f}ms, "
+        f"faulty {data['faulty']['latency_p99_s'] * 1e3:.1f}ms)"
+    )
+
+
+register_stage(Stage(
+    name="service",
+    title="Filter service: fault-tolerant bulk-job traffic",
+    kind="ablation",
+    description="Drives the repro.service bulk-job front end with mixed "
+                "multi-tenant traffic, clean and under seeded fault "
+                "injection (worker crashes, slow batches, filter-full "
+                "storms, a torn snapshot + journal recovery), and audits "
+                "the robustness invariants: every job terminal, no lost "
+                "acks, no duplicated effects, idempotent resubmission, "
+                "bounded tail latency.",
+    run=_run_service,
+    serial=True,
+    expectations=(
+        Expectation("service-all-jobs-terminal",
+                    "every submitted job reaches a terminal state",
+                    _service_all_terminal),
+        Expectation("service-no-lost-or-duplicated-effects",
+                    "acked effects are exact: none lost, none duplicated",
+                    _service_effects_exact),
+        Expectation("service-idempotent-resubmission",
+                    "resubmitting a request ID returns the original result",
+                    _service_idempotent),
+        Expectation("service-absorbs-faults",
+                    "injected faults are retried into successful outcomes",
+                    _service_absorbs_faults),
+        Expectation("service-bounded-p99",
+                    "tail latency stays bounded even under chaos",
+                    _service_bounded_p99),
+    ),
+))

@@ -1,0 +1,654 @@
+"""The fault-tolerant bulk-job filter service.
+
+:class:`FilterService` is the async Bulk-API front end over every filter
+class: clients ``submit`` jobs of up to millions of keys against named
+filters and poll ``status``/``result`` (or block on ``result``/``drain``);
+a dispatcher thread coalesces small jobs through the
+:class:`~repro.service.batcher.WindowedBatcher` and a bounded worker pool
+executes the batches against the registry's filters.
+
+Robustness semantics (the headline; see the README failure-semantics table):
+
+* **Idempotency** — a request ID is accepted once; resubmitting it returns
+  the original job (and, once terminal, the original result) without
+  re-executing anything.
+* **Partial success** — insert jobs report a per-item success mask built on
+  ``bulk_insert_mask`` / the atomic whole-batch insert paths, so "filter
+  full" degrades to ``PARTIAL`` instead of all-or-nothing failure.
+* **Retries** — transient failures (injected worker crashes) are retried
+  with exponential backoff and deterministic jitter, bounded by
+  ``max_attempts``.  Capacity failures on resizable filters trigger
+  :func:`repro.lifecycle.expand` and a retry of only the unplaced keys.
+  Injection sites fire *before* any filter mutation and the whole-batch
+  insert paths used here are atomic on failure, so a retry can never
+  duplicate effects.
+* **Deadlines / cancellation** — jobs carry optional deadlines, checked at
+  dequeue time: an expired or cancelled job is finalized without touching
+  the filter, so its (absent) effects are always well-defined.  A batch
+  that *finishes* late still succeeds, flagged ``deadline_exceeded``.
+* **Backpressure** — admission control rejects submissions beyond
+  ``max_pending_jobs`` with :class:`~repro.service.jobs.AdmissionError`
+  carrying ``retry_after_s``, instead of queueing without bound.
+* **Crash recovery** — accepted jobs are journaled before queueing and
+  their terminal results on completion; :meth:`FilterService.recover`
+  replays the journal against the registry's restored snapshots,
+  re-executing unacknowledged jobs and preloading finished results so
+  idempotency survives the restart.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import queue
+import threading
+import time
+import uuid
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.base import AbstractFilter
+from ..core.exceptions import FilterFullError, UnsupportedOperationError
+from ..lifecycle.resize import expand
+from .batcher import Batch, WindowedBatcher
+from .faults import NO_FAULTS, FaultInjector
+from .jobs import (
+    OPERATIONS,
+    AdmissionError,
+    Job,
+    JobNotFoundError,
+    JobResult,
+    JobStatus,
+    ServiceClosedError,
+    TERMINAL_ERRORS,
+    UnknownFilterError,
+    is_retryable,
+)
+from .journal import JobJournal, replay
+from .registry import FilterRegistry
+
+_SHUTDOWN = object()
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of one :class:`FilterService` instance."""
+
+    max_workers: int = 4
+    #: Admission cap: non-terminal jobs beyond this are rejected with
+    #: retry-after backpressure instead of growing the queue without bound.
+    max_pending_jobs: int = 256
+    batch_window_s: float = 0.002
+    max_batch_keys: int = 65536
+    max_batch_jobs: int = 32
+    #: Total execution attempts per batch (1 = no retries).
+    max_attempts: int = 4
+    backoff_base_s: float = 0.0005
+    backoff_cap_s: float = 0.05
+    #: Jitter fraction: the deterministic per-token jitter multiplies the
+    #: backoff by up to ``1 + backoff_jitter``.
+    backoff_jitter: float = 0.5
+    #: Capacity policy: growth steps attempted on behalf of one batch.
+    max_expands_per_batch: int = 3
+    default_deadline_s: Optional[float] = None
+
+
+class FilterService:
+    """Async bulk-job API over a :class:`FilterRegistry`."""
+
+    def __init__(
+        self,
+        registry: FilterRegistry,
+        config: Optional[ServiceConfig] = None,
+        journal_dir=None,
+        fault_injector: Optional[FaultInjector] = None,
+    ) -> None:
+        self.registry = registry
+        self.config = config or ServiceConfig()
+        self.faults = fault_injector or NO_FAULTS
+        self.journal = JobJournal(journal_dir) if journal_dir is not None else None
+        self.clock = time.monotonic
+
+        self._jobs: Dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._all_done = threading.Condition(self._lock)
+        self._n_pending = 0  # non-terminal accepted jobs
+        self._request_seq = itertools.count(1)
+        # Auto-generated request IDs carry a per-instance nonce: a recovered
+        # service preloads the journal's finished jobs, and a bare counter
+        # restarting at 1 would collide with the previous incarnation's
+        # auto IDs — silently handing new jobs old results.
+        self._instance = uuid.uuid4().hex[:8]
+
+        self._intake: "queue.Queue[object]" = queue.Queue()
+        self._work: "queue.Queue[object]" = queue.Queue()
+        self._retry_heap: List[tuple] = []  # (ready_at, seq, Batch)
+        self._retry_seq = itertools.count()
+        self._batcher = WindowedBatcher(
+            window_s=self.config.batch_window_s,
+            max_batch_keys=self.config.max_batch_keys,
+            max_batch_jobs=self.config.max_batch_jobs,
+        )
+        self._closed = False
+
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="service-dispatcher", daemon=True
+        )
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"service-worker-{i}", daemon=True
+            )
+            for i in range(max(1, self.config.max_workers))
+        ]
+        self._dispatcher.start()
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------ lifecycle
+    def __enter__(self) -> "FilterService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def register_filter(
+        self, name: str, factory: Callable[[], AbstractFilter]
+    ) -> None:
+        """Create (or adopt) a named filter; single-flight and fail-fast."""
+        self.registry.get_or_create(name, factory)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting jobs; optionally drain in-flight work first."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if wait:
+            self.drain()
+        self._intake.put(_SHUTDOWN)
+        self._dispatcher.join(timeout=10.0)
+        for _ in self._workers:
+            self._work.put(_SHUTDOWN)
+        for worker in self._workers:
+            worker.join(timeout=10.0)
+        if self.journal is not None:
+            self.journal.close()
+
+    # -------------------------------------------------------------- client API
+    def submit(
+        self,
+        filter_name: str,
+        op: str,
+        keys: Sequence[int],
+        values: Optional[Sequence[int]] = None,
+        request_id: Optional[str] = None,
+        deadline_s: Optional[float] = None,
+    ) -> str:
+        """Accept a bulk job; returns its request ID.
+
+        Resubmitting a known request ID is a no-op returning the same ID —
+        the original job's (eventual) result stands and the new payload is
+        ignored.  Raises :class:`AdmissionError` under backpressure,
+        :class:`UnknownFilterError` for unregistered filters, and
+        ``ValueError`` for unknown operations.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("the service is shut down")
+            if request_id is not None and request_id in self._jobs:
+                return request_id  # idempotent resubmission
+            if self._n_pending >= self.config.max_pending_jobs:
+                raise AdmissionError(
+                    f"queue depth {self._n_pending} at the admission cap "
+                    f"({self.config.max_pending_jobs}); retry later",
+                    retry_after_s=self._retry_after_hint(),
+                )
+        if op not in OPERATIONS:
+            raise ValueError(f"unknown operation {op!r}; one of {OPERATIONS}")
+        if filter_name not in self.registry:
+            raise UnknownFilterError(f"no filter named {filter_name!r} is registered")
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        if values is not None:
+            values = np.ascontiguousarray(values, dtype=np.uint64)
+            if values.size != keys.size:
+                raise ValueError(
+                    f"{values.size} values for {keys.size} keys"
+                )
+        job = Job(
+            request_id=request_id
+            or f"job-{self._instance}-{next(self._request_seq):08d}",
+            filter_name=filter_name,
+            op=op,
+            keys=keys,
+            values=values,
+            submitted_at=self.clock(),
+            deadline_s=(
+                deadline_s if deadline_s is not None else self.config.default_deadline_s
+            ),
+        )
+        job._done = threading.Event()
+        with self._lock:
+            if job.request_id in self._jobs:  # raced duplicate
+                return job.request_id
+            self._jobs[job.request_id] = job
+            self._n_pending += 1
+        if self.journal is not None:
+            self.journal.record_submit(job)
+        self._intake.put(job)
+        return job.request_id
+
+    def status(self, request_id: str) -> JobStatus:
+        return self._get(request_id).status
+
+    def result(self, request_id: str, timeout: Optional[float] = None) -> JobResult:
+        """Block until the job is terminal and return its result."""
+        job = self._get(request_id)
+        if not job._done.wait(timeout=timeout):
+            raise TimeoutError(f"job {request_id} not terminal after {timeout}s")
+        assert job.result is not None
+        return job.result
+
+    def cancel(self, request_id: str) -> bool:
+        """Request cancellation; returns True if the job can still be skipped.
+
+        Honoured at dequeue time: a job already executing (or terminal) is
+        not interrupted, keeping its effects well-defined.
+        """
+        job = self._get(request_id)
+        with self._lock:
+            if job.status.terminal or job.status is JobStatus.RUNNING:
+                return False
+            job.cancel_requested = True
+            return True
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every accepted job reached a terminal state."""
+        deadline = None if timeout is None else self.clock() + timeout
+        with self._all_done:
+            while self._n_pending > 0:
+                remaining = None if deadline is None else deadline - self.clock()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._all_done.wait(timeout=remaining)
+        return True
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def _get(self, request_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(request_id)
+        if job is None:
+            raise JobNotFoundError(f"unknown request ID {request_id!r}")
+        return job
+
+    def _retry_after_hint(self) -> float:
+        # The window plus an attempt's worth of backoff: by then the batcher
+        # has flushed at least once and workers have made progress.
+        return self.config.batch_window_s + self.config.backoff_cap_s
+
+    # --------------------------------------------------------------- recovery
+    @classmethod
+    def recover(
+        cls,
+        registry: FilterRegistry,
+        journal_dir,
+        config: Optional[ServiceConfig] = None,
+        fault_injector: Optional[FaultInjector] = None,
+    ) -> "FilterService":
+        """Rebuild a service from its journal after a crash.
+
+        Finished jobs are preloaded into the idempotency store (resubmits
+        still return the original results); accepted-but-unacknowledged
+        jobs are re-executed against the registry's restored snapshots.
+        Replayed jobs run without their original deadlines — the crash
+        already blew them, and refusing the work would lose accepted jobs.
+        """
+        pending, finished = replay(journal_dir)
+        service = cls(
+            registry,
+            config=config,
+            journal_dir=journal_dir,
+            fault_injector=fault_injector,
+        )
+        now = service.clock()
+        with service._lock:
+            for request_id, result in finished.items():
+                job = Job(
+                    request_id=request_id,
+                    filter_name="<recovered>",
+                    op="<recovered>",
+                    keys=np.zeros(result.n_items, dtype=np.uint64),
+                    values=None,
+                    submitted_at=now,
+                    status=result.status,
+                    result=result,
+                    finished_at=now,
+                )
+                job._done = threading.Event()
+                job._done.set()
+                service._jobs[request_id] = job
+        for record in pending:
+            job = Job(
+                request_id=record["request_id"],
+                filter_name=record["filter"],
+                op=record["op"],
+                keys=record["keys"],
+                values=record["values"],
+                submitted_at=now,
+            )
+            job._done = threading.Event()
+            with service._lock:
+                service._jobs[job.request_id] = job
+                service._n_pending += 1
+            service._intake.put(job)
+        return service
+
+    # ------------------------------------------------------------- dispatcher
+    def _dispatch_loop(self) -> None:
+        while True:
+            timeout = self._dispatch_timeout()
+            try:
+                item = self._intake.get(timeout=timeout)
+            except queue.Empty:
+                item = None
+            now = self.clock()
+            if item is _SHUTDOWN:
+                for batch in self._batcher.flush():
+                    self._work.put(batch)
+                while self._retry_heap:
+                    ready_at, _, batch = heapq.heappop(self._retry_heap)
+                    delay = ready_at - self.clock()
+                    if delay > 0:
+                        time.sleep(delay)
+                    self._work.put(batch)
+                return
+            if isinstance(item, Job):
+                full = self._batcher.add(item, now)
+                if full is not None:
+                    self._work.put(full)
+            elif isinstance(item, Batch):  # scheduled retry
+                ready_at = item.opened_at
+                heapq.heappush(
+                    self._retry_heap, (ready_at, next(self._retry_seq), item)
+                )
+            for batch in self._batcher.due(now):
+                self._work.put(batch)
+            while self._retry_heap and self._retry_heap[0][0] <= now:
+                _, _, batch = heapq.heappop(self._retry_heap)
+                self._work.put(batch)
+
+    def _dispatch_timeout(self) -> float:
+        deadlines = [self.clock() + 0.05]
+        next_due = self._batcher.next_due()
+        if next_due is not None:
+            deadlines.append(next_due)
+        if self._retry_heap:
+            deadlines.append(self._retry_heap[0][0])
+        return max(0.0, min(deadlines) - self.clock())
+
+    # ---------------------------------------------------------------- workers
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._work.get()
+            if batch is _SHUTDOWN:
+                return
+            try:
+                self._execute(batch)
+            except BaseException as exc:  # noqa: BLE001 - never kill the pool
+                self._finalize_batch(
+                    batch,
+                    JobStatus.FAILED,
+                    error=f"unexpected worker error: {type(exc).__name__}: {exc}",
+                )
+
+    def _execute(self, batch: Batch) -> None:
+        now = self.clock()
+        batch.jobs = self._admit_jobs(batch.jobs, now)
+        if not batch.jobs:
+            return
+        batch.attempts += 1
+        with self._lock:
+            for job in batch.jobs:
+                job.status = JobStatus.RUNNING
+                job.attempts = batch.attempts
+                if job.started_at is None:
+                    job.started_at = now
+        try:
+            self.faults.on_batch_start(batch.token())
+            with self.registry.acquire(batch.filter_name) as entry:
+                with entry.op_lock:
+                    self._run_batch(entry, batch)
+        except FilterFullError as exc:
+            self._handle_capacity_failure(batch, exc)
+        except TERMINAL_ERRORS as exc:
+            self._finalize_batch(
+                batch, JobStatus.FAILED, error=f"{type(exc).__name__}: {exc}"
+            )
+        except Exception as exc:  # noqa: BLE001 - classified below
+            if is_retryable(exc) and batch.attempts < self.config.max_attempts:
+                self._schedule_retry(batch)
+            else:
+                self._finalize_batch(
+                    batch, JobStatus.FAILED, error=f"{type(exc).__name__}: {exc}"
+                )
+
+    def _admit_jobs(self, jobs: List[Job], now: float) -> List[Job]:
+        """Drop cancelled/expired jobs before execution (effects: none)."""
+        admitted = []
+        for job in jobs:
+            if job.cancel_requested:
+                self._finalize_job(job, JobStatus.CANCELLED, error="cancelled")
+            elif job.expired(now):
+                self._finalize_job(
+                    job, JobStatus.EXPIRED,
+                    error=f"deadline of {job.deadline_s}s passed before execution",
+                )
+            else:
+                admitted.append(job)
+        return admitted
+
+    # ---------------------------------------------------------- batch execution
+    def _run_batch(self, entry, batch: Batch) -> None:
+        keys = np.concatenate([job.keys for job in batch.jobs])
+        if batch.op == "insert":
+            values = np.concatenate(
+                [
+                    job.values
+                    if job.values is not None
+                    else np.zeros(job.n_items, dtype=np.uint64)
+                    for job in batch.jobs
+                ]
+            )
+            mask = self._insert_with_growth(entry, batch, keys, values)
+            self._finalize_insert(batch, mask)
+            return
+        filt = self.registry.ensure_resident(entry)
+        if batch.op == "query":
+            results = np.asarray(filt.bulk_query(keys), dtype=bool).astype(np.int64)
+        elif batch.op == "count":
+            results = np.asarray(filt.bulk_count(keys), dtype=np.int64)
+        elif batch.op == "delete":
+            results = self._delete_per_job(filt, batch)
+        else:  # pragma: no cover - submit() validates operations
+            raise UnsupportedOperationError(f"unknown operation {batch.op!r}")
+        offset = 0
+        for job in batch.jobs:
+            data = results[offset : offset + job.n_items]
+            offset += job.n_items
+            self._finalize_job(
+                job, JobStatus.SUCCEEDED,
+                n_ok=job.n_items, data=[int(x) for x in data],
+            )
+
+    def _delete_per_job(self, filt: AbstractFilter, batch: Batch) -> np.ndarray:
+        """Per-job deletes (bulk_delete reports one count per call)."""
+        out = np.zeros(batch.n_keys, dtype=np.int64)
+        offset = 0
+        for job in batch.jobs:
+            removed = int(filt.bulk_delete(job.keys))
+            out[offset : offset + job.n_items] = 1 if removed == job.n_items else 0
+            offset += job.n_items
+        return out
+
+    def _insert_with_growth(
+        self, entry, batch: Batch, keys: np.ndarray, values: np.ndarray
+    ) -> np.ndarray:
+        """Insert the batch, growing the filter on capacity failures.
+
+        Returns the per-key success mask.  Two paths keep retries safe:
+
+        * filters with ``bulk_insert_mask`` report per-key placement without
+          raising; unplaced keys are retried after each expansion;
+        * filters whose ``bulk_insert`` is atomic on failure
+          (``bulk_insert_atomic``) place nothing when they raise, so the
+          whole batch is retried after expansion.
+
+        Filters with neither property get one all-or-nothing attempt: a
+        capacity failure there has ill-defined partial effects, so the
+        service refuses to guess and fails the batch terminally.
+        """
+        filt = self.registry.ensure_resident(entry)
+        has_mask = (
+            type(filt).bulk_insert_mask is not AbstractFilter.bulk_insert_mask
+            or filt.capabilities().point_insert
+        )
+        if has_mask:
+            mask = np.asarray(filt.bulk_insert_mask(keys, values), dtype=bool)
+            while not mask.all() and self._try_expand(entry, batch):
+                filt = entry.filt
+                todo = np.flatnonzero(~mask)
+                sub = np.asarray(
+                    filt.bulk_insert_mask(keys[todo], values[todo]), dtype=bool
+                )
+                mask[todo[sub]] = True
+                if not sub.any():
+                    break
+            return mask
+        while True:
+            try:
+                filt.bulk_insert(keys, values)
+                return np.ones(keys.size, dtype=bool)
+            except FilterFullError:
+                if not getattr(filt, "bulk_insert_atomic", False):
+                    raise  # partial effects unknowable: terminal failure
+                if not self._try_expand(entry, batch):
+                    return np.zeros(keys.size, dtype=bool)
+                filt = entry.filt
+
+    def _try_expand(self, entry, batch: Batch) -> bool:
+        """Capacity policy: grow the filter via the lifecycle layer."""
+        if batch.expands >= self.config.max_expands_per_batch:
+            return False
+        filt = self.registry.ensure_resident(entry)
+        if not filt.capabilities().resizable:
+            return False
+        try:
+            entry.filt = expand(filt)
+        except (UnsupportedOperationError, ValueError):
+            return False
+        batch.expands += 1
+        return True
+
+    def _handle_capacity_failure(self, batch: Batch, exc: FilterFullError) -> None:
+        """A FilterFullError surfaced at batch level.
+
+        Reached by injected filter-full storms (raised before execution) and
+        by non-growable filters: expand if warranted, then retry the batch —
+        nothing was placed, so the retry cannot duplicate effects.  The
+        error's occupancy context drives the growth decision: a filter that
+        reports real pressure (high load factor) earns an expansion, while a
+        transient storm with no occupancy snapshot is simply retried —
+        doubling a half-empty filter for it would waste memory for nothing.
+        """
+        if batch.attempts < self.config.max_attempts:
+            load = exc.load_factor
+            if load is not None and load >= 0.5:
+                try:
+                    with self.registry.acquire(batch.filter_name) as entry:
+                        with entry.op_lock:
+                            self._try_expand(entry, batch)
+                except Exception:  # noqa: BLE001 - growth is best-effort here
+                    pass
+            self._schedule_retry(batch)
+        else:
+            self._finalize_batch(
+                batch, JobStatus.FAILED, error=f"FilterFullError: {exc}"
+            )
+
+    # ------------------------------------------------------------ retry/backoff
+    def _backoff_s(self, batch: Batch) -> float:
+        base = self.config.backoff_base_s * (2 ** (batch.attempts - 1))
+        jitter01 = zlib.crc32(f"jitter:{batch.token()}".encode()) / 2**32
+        return min(self.config.backoff_cap_s, base) * (
+            1.0 + self.config.backoff_jitter * jitter01
+        )
+
+    def _schedule_retry(self, batch: Batch) -> None:
+        with self._lock:
+            for job in batch.jobs:
+                job.status = JobStatus.QUEUED
+        batch.opened_at = self.clock() + self._backoff_s(batch)
+        self._intake.put(batch)
+
+    # ------------------------------------------------------------- finalization
+    def _finalize_insert(self, batch: Batch, mask: np.ndarray) -> None:
+        offset = 0
+        for job in batch.jobs:
+            job_mask = mask[offset : offset + job.n_items]
+            offset += job.n_items
+            n_ok = int(np.count_nonzero(job_mask))
+            if n_ok == job.n_items:
+                status = JobStatus.SUCCEEDED
+            elif n_ok > 0:
+                status = JobStatus.PARTIAL
+            else:
+                status = JobStatus.FAILED
+            self._finalize_job(
+                job, status,
+                n_ok=n_ok,
+                ok_mask=[bool(b) for b in job_mask],
+                error=None if n_ok == job.n_items else "filter full",
+            )
+
+    def _finalize_batch(
+        self, batch: Batch, status: JobStatus, error: Optional[str]
+    ) -> None:
+        for job in batch.jobs:
+            self._finalize_job(job, status, error=error)
+
+    def _finalize_job(
+        self,
+        job: Job,
+        status: JobStatus,
+        n_ok: int = 0,
+        error: Optional[str] = None,
+        ok_mask: Optional[List[bool]] = None,
+        data: Optional[List[int]] = None,
+    ) -> None:
+        now = self.clock()
+        result = JobResult(
+            status=status,
+            n_items=job.n_items,
+            n_ok=n_ok,
+            attempts=max(1, job.attempts),
+            error=error,
+            ok_mask=ok_mask,
+            data=data,
+            deadline_exceeded=job.deadline_at() is not None and now > job.deadline_at(),
+        )
+        with self._lock:
+            if job.status.terminal:
+                return  # first terminal transition wins
+            job.status = status
+            job.result = result
+            job.finished_at = now
+            self._n_pending -= 1
+            self._all_done.notify_all()
+        if self.journal is not None:
+            self.journal.record_result(job)
+        job._done.set()

@@ -23,6 +23,7 @@ EXAMPLES = [
     ("kmer_counting.py", "counting k-mers in the GQF"),
     ("database_join_filter.py", "semi-join pre-filter"),
     ("filter_persistence.py", "bit-identical"),
+    ("filter_service.py", "fault-tolerant filter service"),
 ]
 
 

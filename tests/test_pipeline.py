@@ -22,17 +22,17 @@ from repro.pipeline import (
 )
 from repro.pipeline.stage import _REGISTRY
 
-#: Every figure/table of the paper, in registration (paper) order,
-#: plus the lifecycle (snapshot/merge/resize) stage.
+#: Every figure/table of the paper, in registration (paper) order, plus the
+#: lifecycle (snapshot/merge/resize) and service (fault-tolerance) stages.
 EXPECTED_STAGES = [
     "fig3", "fig4", "fig5", "fig6",
     "table1", "table2", "table3", "table4", "table5",
-    "ablations", "point_timing", "lifecycle",
+    "ablations", "point_timing", "lifecycle", "service",
 ]
 
 
 class TestRegistry:
-    def test_all_twelve_stages_registered(self):
+    def test_all_thirteen_stages_registered(self):
         assert stage_names() == EXPECTED_STAGES
 
     def test_round_trip(self):
@@ -166,3 +166,62 @@ class TestStageEvaluation:
     def test_reports_render_text(self, table1_output):
         assert "table1_api_matrix" in table1_output.reports
         assert "Table 1" in table1_output.reports["table1_api_matrix"]
+
+
+class TestRunnerRetries:
+    """The --retries policy: failed stages are re-run before the manifest."""
+
+    def _flaky_stage(self, fail_times: int) -> Stage:
+        calls = {"n": 0}
+
+        def run(preset):
+            calls["n"] += 1
+            if calls["n"] <= fail_times:
+                raise RuntimeError(f"transient failure #{calls['n']}")
+            return StageOutput(data={"calls": calls["n"]})
+
+        return Stage(
+            name="_flaky", title="flaky", kind="table", description="", run=run,
+            expectations=(Expectation("ran", "stage ran", lambda data: True),),
+        )
+
+    def test_flaky_stage_recovers_within_retry_budget(self, tmp_path):
+        from repro.pipeline.runner import run_stages
+
+        register_stage(self._flaky_stage(fail_times=1))
+        try:
+            manifest = run_stages(
+                ["_flaky"], get_preset("smoke"), tmp_path, jobs=1, retries=2
+            )
+        finally:
+            del _REGISTRY["_flaky"]
+        record = manifest["stages"]["_flaky"]
+        assert record["status"] == "ok"
+        assert record["attempts"] == 2  # one failure, one successful retry
+
+    def test_exhausted_retries_keep_the_failure(self, tmp_path):
+        from repro.pipeline.runner import run_stages
+
+        register_stage(self._flaky_stage(fail_times=10))
+        try:
+            manifest = run_stages(
+                ["_flaky"], get_preset("smoke"), tmp_path, jobs=1, retries=2
+            )
+        finally:
+            del _REGISTRY["_flaky"]
+        record = manifest["stages"]["_flaky"]
+        assert record["status"] == "failed"
+        assert record["attempts"] == 3  # the first run plus both retries
+        assert "transient failure" in record["error"]
+
+    def test_zero_retries_is_the_default_single_attempt(self, tmp_path):
+        from repro.pipeline.runner import run_stages
+
+        register_stage(self._flaky_stage(fail_times=1))
+        try:
+            manifest = run_stages(["_flaky"], get_preset("smoke"), tmp_path, jobs=1)
+        finally:
+            del _REGISTRY["_flaky"]
+        record = manifest["stages"]["_flaky"]
+        assert record["status"] == "failed"
+        assert record["attempts"] == 1

@@ -1,0 +1,382 @@
+"""Tests for the fault-tolerant bulk-job filter service: submission and
+results, partial success, capacity growth, retries with backoff, deadlines,
+cancellation, admission control, idempotency and crash recovery.
+
+Chaos-style end-to-end runs (mixed traffic under seeded fault injection)
+live in ``test_service_chaos.py``; this file pins the per-feature semantics
+with deterministic single-purpose scenarios.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import AbstractFilter, FilterCapabilities
+from repro.core.exceptions import FilterFullError
+from repro.core.tcf import PointTCF
+from repro.service import (
+    AdmissionError,
+    FaultConfig,
+    FaultInjector,
+    FilterRegistry,
+    FilterService,
+    JobNotFoundError,
+    JobStatus,
+    ServiceClosedError,
+    ServiceConfig,
+    UnknownFilterError,
+    WorkerCrashFault,
+    replay,
+)
+
+#: Keys 0/1 are the TCF backing store's reserved words; start above them.
+KEYS = np.arange(2, 66, dtype=np.uint64)
+
+#: Fast-converging retry timing so the failure-path tests stay quick.
+FAST = dict(backoff_base_s=0.0005, backoff_cap_s=0.005)
+
+
+def _service(tmp_path, config=None, injector=None, journal=False):
+    registry = FilterRegistry(tmp_path / "snapshots")
+    return FilterService(
+        registry,
+        config or ServiceConfig(max_workers=2),
+        journal_dir=(tmp_path / "journal") if journal else None,
+        fault_injector=injector,
+    )
+
+
+def _tcf_factory(n_slots=1024, auto_resize=False):
+    return lambda: PointTCF(n_slots, auto_resize=auto_resize)
+
+
+# ------------------------------------------------------------- happy path
+def test_insert_then_query_roundtrip(tmp_path):
+    with _service(tmp_path) as service:
+        service.register_filter("t", _tcf_factory())
+        rid = service.submit("t", "insert", KEYS)
+        result = service.result(rid, timeout=10.0)
+        assert result.status is JobStatus.SUCCEEDED
+        assert result.n_ok == KEYS.size and result.n_failed == 0
+        qid = service.submit("t", "query", KEYS)
+        qres = service.result(qid, timeout=10.0)
+        assert qres.status is JobStatus.SUCCEEDED
+        assert qres.data == [1] * KEYS.size
+        missing = service.result(
+            service.submit("t", "query", KEYS + np.uint64(10_000)), timeout=10.0
+        )
+        assert sum(missing.data) <= 2  # false positives only
+
+
+def test_small_jobs_coalesce_into_one_batch(tmp_path):
+    config = ServiceConfig(max_workers=1, batch_window_s=0.2, max_batch_jobs=4)
+    with _service(tmp_path, config=config) as service:
+        service.register_filter("t", _tcf_factory())
+        rids = [
+            service.submit("t", "insert", KEYS[i * 16 : (i + 1) * 16])
+            for i in range(4)
+        ]
+        results = [service.result(rid, timeout=10.0) for rid in rids]
+        assert all(r.status is JobStatus.SUCCEEDED for r in results)
+        # max_batch_jobs=4 flushed the batch by size, well inside the 0.2s
+        # window; every job rode in it on the same (single) attempt.
+        assert all(r.attempts == 1 for r in results)
+        with service.registry.acquire("t") as entry:
+            assert int(entry.filt.n_items) == KEYS.size
+
+
+# ------------------------------------------------------------- validation
+def test_submit_validations(tmp_path):
+    with _service(tmp_path) as service:
+        service.register_filter("t", _tcf_factory())
+        with pytest.raises(ValueError, match="unknown operation"):
+            service.submit("t", "frobnicate", KEYS)
+        with pytest.raises(UnknownFilterError):
+            service.submit("nope", "insert", KEYS)
+        with pytest.raises(ValueError, match="values for"):
+            service.submit("t", "insert", KEYS, values=np.zeros(3, dtype=np.uint64))
+        with pytest.raises(JobNotFoundError):
+            service.status("never-submitted")
+
+
+def test_admission_control_rejects_with_retry_after(tmp_path):
+    config = ServiceConfig(max_workers=1, max_pending_jobs=0)
+    with _service(tmp_path, config=config) as service:
+        service.register_filter("t", _tcf_factory())
+        with pytest.raises(AdmissionError) as info:
+            service.submit("t", "insert", KEYS)
+        assert info.value.retry_after_s > 0.0
+
+
+def test_shutdown_rejects_new_submissions(tmp_path):
+    service = _service(tmp_path)
+    service.register_filter("t", _tcf_factory())
+    service.shutdown(wait=True)
+    with pytest.raises(ServiceClosedError):
+        service.submit("t", "insert", KEYS)
+    service.shutdown()  # second shutdown is a no-op
+
+
+# ------------------------------------------------------------- idempotency
+def test_idempotent_resubmission_returns_original_result(tmp_path):
+    with _service(tmp_path) as service:
+        service.register_filter("t", _tcf_factory())
+        rid = service.submit("t", "insert", KEYS, request_id="my-job")
+        first = service.result(rid, timeout=10.0)
+        again = service.submit("t", "insert", KEYS + np.uint64(500), request_id="my-job")
+        assert again == rid
+        assert service.result(rid, timeout=10.0) is first
+        with service.registry.acquire("t") as entry:
+            # The second payload was ignored: nothing beyond KEYS went in.
+            assert int(entry.filt.n_items) == KEYS.size
+
+
+# -------------------------------------------------- cancellation/deadlines
+def test_cancel_before_execution_has_no_effects(tmp_path):
+    # A wide batching window holds the job in the batcher long enough for
+    # the cancel to land before dequeue.
+    config = ServiceConfig(max_workers=1, batch_window_s=0.3, max_batch_jobs=64)
+    with _service(tmp_path, config=config) as service:
+        service.register_filter("t", _tcf_factory())
+        rid = service.submit("t", "insert", KEYS)
+        assert service.cancel(rid)
+        result = service.result(rid, timeout=10.0)
+        assert result.status is JobStatus.CANCELLED
+        assert result.n_ok == 0
+        with service.registry.acquire("t") as entry:
+            assert int(entry.filt.n_items) == 0
+
+
+def test_expired_deadline_drops_job_effect_free(tmp_path):
+    with _service(tmp_path) as service:
+        service.register_filter("t", _tcf_factory())
+        rid = service.submit("t", "insert", KEYS, deadline_s=0.0)
+        result = service.result(rid, timeout=10.0)
+        assert result.status is JobStatus.EXPIRED
+        assert result.n_ok == 0
+        with service.registry.acquire("t") as entry:
+            assert int(entry.filt.n_items) == 0
+
+
+def test_late_completion_succeeds_with_deadline_flag(tmp_path):
+    # The slow-batch fault holds execution past the deadline *after* the
+    # dequeue-time check admitted the job: the batch still runs to
+    # completion (its effects must stay well-defined) but is flagged.
+    injector = FaultInjector(FaultConfig(slow_batch_rate=1.0, slow_batch_s=0.3))
+    with _service(tmp_path, injector=injector) as service:
+        service.register_filter("t", _tcf_factory())
+        rid = service.submit("t", "insert", KEYS, deadline_s=0.1)
+        result = service.result(rid, timeout=10.0)
+        assert result.status is JobStatus.SUCCEEDED
+        assert result.deadline_exceeded
+        with service.registry.acquire("t") as entry:
+            assert int(entry.filt.n_items) == KEYS.size
+
+
+# ------------------------------------------------- partial success/growth
+def test_partial_success_reports_per_item_mask(tmp_path):
+    config = ServiceConfig(max_workers=1, max_expands_per_batch=0, **FAST)
+    with _service(tmp_path, config=config) as service:
+        service.register_filter("small", _tcf_factory(n_slots=128))
+        keys = np.arange(2, 2 + 400, dtype=np.uint64)
+        rid = service.submit("small", "insert", keys)
+        result = service.result(rid, timeout=10.0)
+        assert result.status is JobStatus.PARTIAL
+        mask = np.asarray(result.ok_mask, dtype=bool)
+        assert 0 < result.n_ok < keys.size
+        assert int(np.count_nonzero(mask)) == result.n_ok
+        with service.registry.acquire("small") as entry:
+            # Every acked key is queryable; the ack ledger never lies.
+            assert bool(entry.filt.bulk_query(keys[mask]).all())
+            assert int(entry.filt.n_items) == result.n_ok
+
+
+def test_capacity_failure_grows_resizable_filter(tmp_path):
+    # A GQF without auto_resize reports partial placement and leaves the
+    # growing to the caller: the service's capacity policy must expand it
+    # (out of place, via lifecycle.expand) and retry only the unplaced keys.
+    from repro.core.gqf import PointGQF
+
+    with _service(tmp_path) as service:
+        service.register_filter("small", lambda: PointGQF(7, 16))
+        keys = np.arange(2, 2 + 400, dtype=np.uint64)
+        result = service.result(service.submit("small", "insert", keys), timeout=10.0)
+        assert result.status is JobStatus.SUCCEEDED
+        with service.registry.acquire("small") as entry:
+            assert entry.filt.n_slots > 128  # the service grew it
+            assert int(entry.filt.n_items) == keys.size  # exactly once each
+
+
+# --------------------------------------------------------- retry semantics
+class _CrashOnceInjector(FaultInjector):
+    """Crash each batch's first attempt only — the canonical transient fault."""
+
+    def __init__(self):
+        super().__init__(FaultConfig())
+        self.seen = set()
+
+    def on_batch_start(self, token: str) -> None:
+        base = token.rsplit("#", 1)[0]
+        if base not in self.seen:
+            self.seen.add(base)
+            self.fired["worker_crash"] = self.fired.get("worker_crash", 0) + 1
+            raise WorkerCrashFault(f"injected first-attempt crash ({token})")
+
+
+def test_transient_crash_is_retried_without_duplicate_effects(tmp_path):
+    config = ServiceConfig(max_workers=1, **FAST)
+    with _service(tmp_path, config=config, injector=_CrashOnceInjector()) as service:
+        service.register_filter("t", _tcf_factory())
+        result = service.result(service.submit("t", "insert", KEYS), timeout=10.0)
+        assert result.status is JobStatus.SUCCEEDED
+        assert result.attempts == 2  # crashed once, then landed
+        with service.registry.acquire("t") as entry:
+            assert int(entry.filt.n_items) == KEYS.size  # no re-applied insert
+
+
+def test_crash_storm_exhausts_retries_effect_free(tmp_path):
+    injector = FaultInjector(FaultConfig(worker_crash_rate=1.0))
+    config = ServiceConfig(max_workers=1, max_attempts=3, **FAST)
+    with _service(tmp_path, config=config, injector=injector) as service:
+        service.register_filter("t", _tcf_factory())
+        result = service.result(service.submit("t", "insert", KEYS), timeout=10.0)
+        assert result.status is JobStatus.FAILED
+        assert result.attempts == 3
+        assert "WorkerCrashFault" in result.error
+        with service.registry.acquire("t") as entry:
+            assert int(entry.filt.n_items) == 0  # crashes fire pre-mutation
+
+
+# --------------------------------------------- atomic whole-batch contract
+class _AtomicStub(AbstractFilter):
+    """Minimal bulk-only filter whose bulk_insert is atomic on failure."""
+
+    name = "atomic-stub"
+    bulk_insert_atomic = True
+
+    def __init__(self, capacity=64, recorder=None):
+        super().__init__(recorder)
+        self._capacity = capacity
+        self.stored = set()
+
+    @classmethod
+    def capabilities(cls):
+        return FilterCapabilities(bulk_insert=True, bulk_query=True)
+
+    @property
+    def capacity(self):
+        return self._capacity
+
+    @property
+    def n_slots(self):
+        return self._capacity
+
+    @property
+    def nbytes(self):
+        return 8 * self._capacity
+
+    @property
+    def n_items(self):
+        return len(self.stored)
+
+    def bulk_insert(self, keys, values=None):
+        if len(self.stored) + len(keys) > self._capacity:
+            raise FilterFullError("stub full")  # atomic: nothing was placed
+        self.stored.update(int(k) for k in keys)
+        return len(keys)
+
+    def bulk_query(self, keys):
+        return np.array([int(k) in self.stored for k in keys], dtype=bool)
+
+
+def test_atomic_bulk_insert_path(tmp_path):
+    config = ServiceConfig(max_workers=1, max_attempts=2, **FAST)
+    with _service(tmp_path, config=config) as service:
+        service.register_filter("stub", lambda: _AtomicStub(capacity=64))
+        ok = service.result(service.submit("stub", "insert", KEYS), timeout=10.0)
+        assert ok.status is JobStatus.SUCCEEDED
+        # Over capacity on a non-resizable atomic filter: the batch fails
+        # whole (all-or-nothing) and the filter keeps only the first job.
+        big = np.arange(1000, 1100, dtype=np.uint64)
+        full = service.result(service.submit("stub", "insert", big), timeout=10.0)
+        assert full.status is JobStatus.FAILED
+        assert full.n_ok == 0
+        with service.registry.acquire("stub") as entry:
+            assert int(entry.filt.n_items) == KEYS.size
+
+
+# ---------------------------------------------------------------- recovery
+def test_recover_preloads_finished_and_replays_pending(tmp_path):
+    from repro.service import JobJournal
+    from repro.service.jobs import Job
+
+    registry = FilterRegistry(tmp_path / "snapshots")
+    journal_dir = tmp_path / "journal"
+    service = FilterService(
+        registry, ServiceConfig(max_workers=2), journal_dir=journal_dir
+    )
+    service.register_filter("t", _tcf_factory(auto_resize=True))
+    done_rid = service.submit("t", "insert", KEYS, request_id="done-job")
+    done = service.result(done_rid, timeout=10.0)
+    assert done.status is JobStatus.SUCCEEDED
+    # An auto-ID job in the journal: a recovered service's own auto IDs must
+    # not collide with it (regression: a bare counter restarting at 1 handed
+    # new jobs the previous incarnation's journaled results).
+    auto_rid = service.submit("t", "insert", KEYS + np.uint64(10_000))
+    assert service.result(auto_rid, timeout=10.0).status is JobStatus.SUCCEEDED
+    service.shutdown(wait=True)
+    registry.flush()
+
+    # Simulate a crash between accept and execute: an extra submit record
+    # lands in the journal with no matching result.
+    pending_keys = np.arange(500, 564, dtype=np.uint64)
+    extra = JobJournal(journal_dir)
+    extra.record_submit(
+        Job(
+            request_id="pending-job",
+            filter_name="t",
+            op="insert",
+            keys=pending_keys,
+            values=None,
+            submitted_at=0.0,
+        )
+    )
+    extra.close()
+
+    recovered_registry = FilterRegistry(tmp_path / "snapshots")
+    recovered_registry.register_snapshot("t", _tcf_factory(auto_resize=True))
+    recovered = FilterService.recover(recovered_registry, journal_dir)
+    assert recovered.drain(timeout=30.0)
+    # The finished job was preloaded: idempotency survived the restart.
+    assert recovered.status("done-job").terminal
+    assert recovered.result("done-job", timeout=1.0).n_ok == KEYS.size
+    assert recovered.submit("t", "insert", [2, 3], request_id="done-job") == "done-job"
+    # The pending job was re-executed against the restored snapshot.
+    replayed = recovered.result("pending-job", timeout=10.0)
+    assert replayed.status is JobStatus.SUCCEEDED
+    with recovered_registry.acquire("t") as entry:
+        assert bool(entry.filt.bulk_query(KEYS).all())
+        assert bool(entry.filt.bulk_query(pending_keys).all())
+    # A fresh auto-ID submission gets its own job, not a journaled result.
+    fresh_rid = recovered.submit("t", "query", KEYS)
+    assert fresh_rid != auto_rid
+    fresh = recovered.result(fresh_rid, timeout=10.0)
+    assert fresh.status is JobStatus.SUCCEEDED
+    assert fresh.data == [1] * KEYS.size
+    recovered.shutdown(wait=True)
+
+
+def test_journal_round_trips_partial_masks(tmp_path):
+    config = ServiceConfig(max_workers=1, max_expands_per_batch=0, **FAST)
+    with _service(tmp_path, config=config, journal=True) as service:
+        service.register_filter("small", _tcf_factory(n_slots=128))
+        keys = np.arange(2, 2 + 400, dtype=np.uint64)
+        rid = service.submit("small", "insert", keys)
+        result = service.result(rid, timeout=10.0)
+        assert result.status is JobStatus.PARTIAL
+    pending, finished = replay(tmp_path / "journal")
+    assert pending == []
+    assert finished[rid].status is JobStatus.PARTIAL
+    assert finished[rid].n_ok == result.n_ok
+    assert finished[rid].ok_mask == result.ok_mask
