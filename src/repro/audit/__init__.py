@@ -1,0 +1,15 @@
+"""Static-analysis and concurrency-correctness audits for the repro tree.
+
+Three coordinated analyses, all runnable via ``python -m repro audit``:
+
+- :mod:`repro.audit.lint` — a custom AST lint engine with repo-specific
+  rules (AUD1xx) encoding invariants established by earlier PRs.
+- :mod:`repro.audit.locks` — static lock-order analysis of the service
+  layer: builds the lock-acquisition graph and checks it stays acyclic.
+- :mod:`repro.audit.racetrack` — an Eraser-style dynamic lockset race
+  detector that instruments the service locks under chaos traffic.
+"""
+
+from .lint import Finding, Rule, all_rules, gating, run_lint
+
+__all__ = ["Finding", "Rule", "all_rules", "gating", "run_lint"]

@@ -1,0 +1,187 @@
+"""The ``repro audit`` subcommand: lint + lock-order + optional race audit.
+
+Exit codes: 0 — clean; 1 — findings (lint errors, lock-order cycles or
+violations, stale hierarchy artifact, or harmful race candidates);
+2 — usage or analysis errors (unparseable source, bad paths).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+from typing import List, Optional
+
+from .lint import gating, run_lint
+from .locks import (
+    DEFAULT_LOCK_PATHS,
+    analyze_lock_order,
+    check_artifact,
+    hierarchy_artifact,
+)
+
+DEFAULT_LINT_PATHS = ("src/repro",)
+DEFAULT_ARTIFACT_PATH = "docs/lock_hierarchy.json"
+
+
+def add_audit_parser(sub) -> None:
+    """Attach the ``audit`` subcommand to the ``repro`` CLI's subparsers."""
+    audit = sub.add_parser(
+        "audit",
+        help="static analysis: custom lints, lock-order check, race detector",
+    )
+    add_audit_arguments(audit)
+
+
+def add_audit_arguments(audit: argparse.ArgumentParser) -> None:
+    audit.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help=f"files or directories to lint (default: {DEFAULT_LINT_PATHS[0]})",
+    )
+    audit.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: %(default)s)",
+    )
+    audit.add_argument(
+        "--no-lint", action="store_true", help="skip the AST lint pass"
+    )
+    audit.add_argument(
+        "--no-locks", action="store_true", help="skip the lock-order analysis"
+    )
+    audit.add_argument(
+        "--keep-suppressed", action="store_true",
+        help="also show findings silenced by '# audit: ignore[...]'",
+    )
+    audit.add_argument(
+        "--race", action="store_true",
+        help="run the chaos traffic scenario under the lockset race detector",
+    )
+    audit.add_argument(
+        "--race-report", type=pathlib.Path, default=None, metavar="FILE",
+        help="write the race detector's JSON report here (implies --race)",
+    )
+    audit.add_argument(
+        "--lock-artifact", type=pathlib.Path,
+        default=pathlib.Path(DEFAULT_ARTIFACT_PATH), metavar="FILE",
+        help="committed lock-hierarchy artifact to check against "
+             "(default: %(default)s)",
+    )
+    audit.add_argument(
+        "--write-lock-artifact", action="store_true",
+        help="refresh the lock-hierarchy artifact instead of checking it",
+    )
+
+
+def run_audit(args: argparse.Namespace) -> int:
+    emit_json = args.format == "json"
+    payload: dict = {}
+    failed = False
+    lines: List[str] = []
+
+    if not args.no_lint:
+        paths = args.paths or list(DEFAULT_LINT_PATHS)
+        try:
+            findings = run_lint(paths, keep_suppressed=args.keep_suppressed)
+        except (OSError, SyntaxError) as exc:
+            print(f"audit: lint failed: {exc}", file=sys.stderr)
+            return 2
+        errors = gating(findings)
+        shown = findings if args.keep_suppressed else [
+            f for f in findings if not f.suppressed
+        ]
+        payload["lint"] = {
+            "findings": [
+                {
+                    "rule": f.rule, "severity": f.severity, "path": f.path,
+                    "line": f.line, "message": f.message,
+                    "suppressed": f.suppressed,
+                }
+                for f in shown
+            ],
+            "errors": len(errors),
+        }
+        for f in shown:
+            lines.append(f.render())
+        lines.append(
+            f"lint: {len(shown)} finding(s) shown, {len(errors)} gating"
+        )
+        failed = failed or bool(errors)
+
+    if not args.no_locks:
+        try:
+            report = analyze_lock_order()
+        except (OSError, SyntaxError) as exc:
+            print(f"audit: lock-order analysis failed: {exc}", file=sys.stderr)
+            return 2
+        artifact = hierarchy_artifact(report)
+        payload["locks"] = {
+            "ok": report.ok,
+            "cycles": report.cycles,
+            "violations": [
+                {"site": site.render(), "message": msg}
+                for site, msg in report.violations
+            ],
+            "hierarchy": report.hierarchy,
+        }
+        for cycle in report.cycles:
+            lines.append("lock-order cycle: " + " -> ".join(cycle + cycle[:1]))
+        for site, msg in report.violations:
+            lines.append(f"lock discipline: {site.render()}: {msg}")
+        lines.append(
+            f"lock-order: {len(report.locks)} lock(s), "
+            f"{len(report.edges)} edge(s), {len(report.cycles)} cycle(s), "
+            f"{len(report.violations)} violation(s) in "
+            f"{', '.join(DEFAULT_LOCK_PATHS)}"
+        )
+        failed = failed or not report.ok
+        if args.write_lock_artifact:
+            args.lock_artifact.parent.mkdir(parents=True, exist_ok=True)
+            args.lock_artifact.write_text(
+                json.dumps(artifact, indent=2) + "\n", encoding="utf-8"
+            )
+            lines.append(f"lock-order: wrote {args.lock_artifact}")
+        else:
+            stale = check_artifact(report, args.lock_artifact)
+            if stale is not None:
+                lines.append(stale)
+                failed = True
+
+    if args.race or args.race_report is not None:
+        from .racetrack import run_race_audit
+
+        with tempfile.TemporaryDirectory(prefix="repro-race-") as td:
+            race = run_race_audit(pathlib.Path(td))
+        payload["race"] = race.as_dict()
+        lines.append(race.render())
+        if args.race_report is not None:
+            args.race_report.parent.mkdir(parents=True, exist_ok=True)
+            args.race_report.write_text(
+                json.dumps(race.as_dict(), indent=2) + "\n", encoding="utf-8"
+            )
+            lines.append(f"race: wrote {args.race_report}")
+        failed = failed or not race.ok
+
+    payload["ok"] = not failed
+    if emit_json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for line in lines:
+            print(line)
+        print("audit: FAILED" if failed else "audit: ok")
+    return 1 if failed else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.audit.cli``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-audit",
+        description="Static analysis + concurrency checks for the repo.",
+    )
+    add_audit_arguments(parser)
+    return run_audit(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,109 @@
+"""Suppression and role directives the audit reads out of source comments.
+
+Two comment directives steer the lint engine:
+
+``# audit: ignore[AUD101]`` / ``# audit: ignore[AUD101,AUD105]``
+    Suppress the named rules on the directive's line.  Placed on its own
+    line, the directive suppresses the *next* code line instead, so long
+    explanations fit above the flagged statement.  A bare
+    ``# audit: ignore`` (no rule list) is rejected by the engine — every
+    suppression must say which invariant it waives.
+
+``# audit: module-role=deterministic`` (first 10 lines of a file)
+    Override the path-based role classification (see
+    :data:`repro.audit.lint.ROLE_PATTERNS`).  This is how the violating /
+    clean fixture snippets under ``tests/data/audit_fixtures/`` opt into
+    rules that normally key off a file's location in the tree.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set
+
+_IGNORE_RE = re.compile(r"#\s*audit:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?")
+_ROLE_RE = re.compile(r"#\s*audit:\s*module-role=(?P<roles>[a-z\-,\s]+)")
+
+#: How many leading lines may carry a ``module-role`` directive.
+_ROLE_WINDOW = 10
+
+
+@dataclass
+class Directives:
+    """Parsed audit directives of one source file."""
+
+    #: line number -> rule IDs suppressed on that line ({"*"} = malformed
+    #: bare ignore; the engine reports it instead of honouring it).
+    ignores: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    #: Roles force-assigned by a ``module-role=`` directive (empty = infer
+    #: from the file path).
+    roles: FrozenSet[str] = frozenset()
+    #: Lines carrying a bare ignore directive with no rule list.
+    malformed: List[int] = field(default_factory=list)
+
+
+def parse_directives(source: str) -> Directives:
+    """Extract suppression/role directives from ``source``'s comments."""
+    directives = Directives()
+    comment_only_lines: Set[int] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return directives
+
+    code_lines: Set[int] = set()
+    for tok in tokens:
+        if tok.type in (
+            tokenize.COMMENT,
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENDMARKER,
+        ):
+            continue
+        for line in range(tok.start[0], tok.end[0] + 1):
+            code_lines.add(line)
+
+    roles: Set[str] = set()
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        line = tok.start[0]
+        role_match = _ROLE_RE.search(tok.string)
+        if role_match and line <= _ROLE_WINDOW:
+            roles.update(
+                part.strip() for part in role_match.group("roles").split(",") if part.strip()
+            )
+            continue
+        ignore_match = _IGNORE_RE.search(tok.string)
+        if not ignore_match:
+            continue
+        if line not in code_lines:
+            comment_only_lines.add(line)
+        rules_text = ignore_match.group("rules")
+        if rules_text is None or not rules_text.strip():
+            directives.malformed.append(line)
+            continue
+        rules = frozenset(part.strip() for part in rules_text.split(",") if part.strip())
+        previous = directives.ignores.get(line, frozenset())
+        directives.ignores[line] = previous | rules
+
+    # A directive on a comment-only line suppresses the next code line.
+    for line in sorted(comment_only_lines):
+        rules = directives.ignores.pop(line, None)
+        if rules is None:
+            continue
+        target = line + 1
+        while target in comment_only_lines or (
+            target not in code_lines and target <= max(code_lines, default=line)
+        ):
+            target += 1
+        previous = directives.ignores.get(target, frozenset())
+        directives.ignores[target] = previous | rules
+
+    directives.roles = frozenset(roles)
+    return directives

@@ -1,0 +1,101 @@
+"""AUD106: public bulk insert APIs validate inputs like the point APIs.
+
+PR 3 fixed a family of silent-footgun bugs where a filter's ``bulk_insert``
+accepted a ``values`` argument its design cannot store and dropped it on
+the floor (BF/BBF/VQF), while the point ``insert`` raised.  The invariant:
+a ``bulk_insert``/``bulk_insert_mask`` that declares ``values`` must
+*reference* it — reject it, default it, or store it — and must normalise
+``keys`` through ``np.asarray``/``np.ascontiguousarray`` with an explicit
+dtype before arithmetic touches them (mixed int types overflow silently on
+wide geometries; see the PR 1 uint64-fingerprint fix).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from ..lint import AuditModule, Rule, register
+
+_NORMALISERS = {"asarray", "ascontiguousarray", "asanyarray"}
+_TARGET_METHODS = {"bulk_insert", "bulk_insert_mask"}
+
+
+def _normalises_keys(func: ast.AST) -> bool:
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = node.func
+        name = callee.attr if isinstance(callee, ast.Attribute) else getattr(callee, "id", "")
+        if name not in _NORMALISERS:
+            continue
+        if not node.args:
+            continue
+        first = node.args[0]
+        if isinstance(first, ast.Name) and first.id == "keys":
+            if any(kw.arg == "dtype" for kw in node.keywords):
+                return True
+    return False
+
+
+def _delegates(func: ast.FunctionDef) -> bool:
+    """A thin wrapper forwarding both arguments wholesale is exempt."""
+    statements = [
+        stmt for stmt in func.body
+        if not (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant))
+    ]
+    if len(statements) != 1:
+        return False
+    stmt = statements[0]
+    value = stmt.value if isinstance(stmt, (ast.Return, ast.Expr)) else None
+    return isinstance(value, ast.Call)
+
+
+def _check(module: AuditModule) -> Iterator[Tuple[int, str]]:
+    for func in ast.walk(module.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if func.name not in _TARGET_METHODS:
+            continue
+        args = func.args
+        param_names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        if "keys" not in param_names:
+            continue
+        if _delegates(func):
+            continue
+        body_names = {
+            node.id
+            for stmt in func.body
+            for node in ast.walk(stmt)
+            if isinstance(node, ast.Name)
+        }
+        if "values" in param_names and "values" not in body_names:
+            yield (
+                func.lineno,
+                f"{func.name}() accepts 'values' but never references it: "
+                f"values are silently dropped — reject them like the point "
+                f"insert does, or store them",
+            )
+        if not _normalises_keys(func):
+            yield (
+                func.lineno,
+                f"{func.name}() never normalises 'keys' via "
+                f"np.asarray(keys, dtype=...); un-coerced key arrays overflow "
+                f"silently on wide geometries",
+            )
+
+
+register(
+    Rule(
+        rule_id="AUD106",
+        name="bulk-values-validation",
+        severity="error",
+        description=(
+            "bulk_insert/bulk_insert_mask must validate 'values' and "
+            "normalise 'keys' with an explicit dtype, like the point APIs"
+        ),
+        roles=frozenset({"bulk-api"}),
+        check=_check,
+        established_by="PR 3 (BF/BBF/VQF value rejection, PR 1 uint64 keys)",
+    )
+)

@@ -1,0 +1,109 @@
+"""AUD102: deterministic modules read no wall clock and no ambient RNG.
+
+The simulated GPU (``gpusim/``), the filter cores (``core/``) and the fault
+injector (``service/faults.py``) must be pure functions of their inputs:
+the event accounting is calibrated against bit-exact replays, and the chaos
+schedules only reproduce because every fault decision is a stable hash of
+``(seed, site, token)``.  A ``time.time()`` or ``random.random()`` sneaked
+into these modules breaks replay silently — this rule makes it loud.
+
+Allowed: ``time.sleep`` (a delay, not a clock read) and explicitly seeded
+numpy generators (``np.random.default_rng(seed)``, ``Generator``,
+``SeedSequence``, bit generators).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from ..lint import AuditModule, Rule, register
+
+#: Wall-clock reads on the stdlib ``time`` module.
+_CLOCK_READS = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+}
+
+#: Ambient-date constructors on ``datetime``/``date`` objects.
+_DATETIME_AMBIENT = {"now", "utcnow", "today"}
+
+#: Seeded, explicitly-constructed numpy RNG entry points that stay allowed.
+_NP_RANDOM_ALLOWED = {"default_rng", "Generator", "SeedSequence", "BitGenerator",
+                      "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937"}
+
+
+def _attr_chain(node: ast.AST) -> str:
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _check(module: AuditModule) -> Iterator[Tuple[int, str]]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "random":
+            yield (
+                node.lineno,
+                "import from the ambient 'random' module in a deterministic "
+                "module; derive decisions from a stable hash or a seeded "
+                "np.random.default_rng instead",
+            )
+            continue
+        if not isinstance(node, ast.Attribute):
+            continue
+        chain = _attr_chain(node)
+        if chain.startswith("time.") and node.attr in _CLOCK_READS:
+            yield (
+                node.lineno,
+                f"wall-clock read {chain}() in a deterministic module; "
+                f"deterministic replay (chaos schedules, event calibration) "
+                f"must not observe real time",
+            )
+        elif node.attr in _DATETIME_AMBIENT and (
+            chain.split(".")[-2:-1] in (["datetime"], ["date"])
+        ):
+            yield (
+                node.lineno,
+                f"ambient date/time constructor {chain}() in a deterministic "
+                f"module",
+            )
+        elif chain.startswith("random."):
+            yield (
+                node.lineno,
+                f"ambient RNG {chain} in a deterministic module; use a "
+                f"stable hash of (seed, site, token) or a seeded generator",
+            )
+        elif ".random." in chain and chain.split(".")[0] in ("np", "numpy"):
+            if node.attr not in _NP_RANDOM_ALLOWED:
+                yield (
+                    node.lineno,
+                    f"ambient numpy RNG {chain}() shares global state across "
+                    f"call sites; construct a seeded np.random.default_rng",
+                )
+
+
+register(
+    Rule(
+        rule_id="AUD102",
+        name="ambient-nondeterminism",
+        severity="error",
+        description=(
+            "no wall-clock reads (time.time/datetime.now) or ambient RNG "
+            "(random.*, bare np.random.*) in deterministic modules "
+            "(gpusim/, core/, service/faults.py)"
+        ),
+        roles=frozenset({"deterministic"}),
+        check=_check,
+        established_by="PRs 1-4 (event calibration), PR 7 (seeded chaos)",
+    )
+)

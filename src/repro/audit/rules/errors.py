@@ -1,0 +1,113 @@
+"""AUD104 + AUD105: error-path hygiene.
+
+AUD104 — ``FilterFullError`` / ``CapacityLimitError`` must be raised with
+their keyword context (occupancy snapshot / violated bound).  PR 6 enriched
+both exception types precisely so retry loops, the auto-resize trigger and
+the service's capacity policy can react programmatically; a bare
+``raise FilterFullError("full")`` starves all of them.
+
+AUD105 — no silently swallowed exceptions in service code.  A bare
+``except:`` is flagged everywhere; in ``service``-role modules an
+``except`` whose body is only ``pass`` (the classic worker-loop black
+hole) is flagged too.  Genuine best-effort sites carry an
+``# audit: ignore[AUD105]`` with their justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from ..lint import AuditModule, Rule, register
+
+_CONTEXT_ERRORS = {
+    "FilterFullError": "n_items/n_slots/load_factor/batch_offset",
+    "CapacityLimitError": "requested/limit",
+}
+
+
+def _exception_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+def _check_capacity_context(module: AuditModule) -> Iterator[Tuple[int, str]]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Raise) or not isinstance(node.exc, ast.Call):
+            continue
+        name = _exception_name(node.exc.func)
+        expected = _CONTEXT_ERRORS.get(name)
+        if expected is None:
+            continue
+        if not node.exc.keywords:
+            yield (
+                node.lineno,
+                f"{name} raised without occupancy context; attach the "
+                f"{expected} keywords so retry/resize policies can react "
+                f"programmatically",
+            )
+
+
+def _body_is_silent(handler: ast.ExceptHandler) -> bool:
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or ellipsis
+        return False
+    return True
+
+
+def _check_swallowed(module: AuditModule) -> Iterator[Tuple[int, str]]:
+    in_service = "service" in module.roles
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            yield (
+                node.lineno,
+                "bare 'except:' catches SystemExit/KeyboardInterrupt too; "
+                "name the exceptions this handler means to absorb",
+            )
+        elif in_service and _body_is_silent(node):
+            caught = ast.unparse(node.type)
+            yield (
+                node.lineno,
+                f"'except {caught}: pass' silently swallows failures in "
+                f"service code; record, reclassify or re-raise — or justify "
+                f"the best-effort site with an ignore comment",
+            )
+
+
+register(
+    Rule(
+        rule_id="AUD104",
+        name="capacity-context",
+        severity="error",
+        description=(
+            "FilterFullError/CapacityLimitError must carry their keyword "
+            "context (occupancy snapshot / violated bound)"
+        ),
+        roles=None,
+        check=_check_capacity_context,
+        established_by="PR 6 (enriched capacity errors)",
+    )
+)
+
+register(
+    Rule(
+        rule_id="AUD105",
+        name="swallowed-exception",
+        severity="error",
+        description=(
+            "no bare 'except:' anywhere; no silent 'except X: pass' in "
+            "service worker code"
+        ),
+        roles=None,
+        check=_check_swallowed,
+        established_by="PR 7 (worker pool error taxonomy)",
+    )
+)

@@ -1,0 +1,73 @@
+"""AUD103: crash-safe persistence fsyncs before it renames.
+
+The snapshot writer (PR 6) and the job journal (PR 7) promise that an
+interrupted save leaves either the old file or the complete new one — a
+promise that only holds if the temp file's bytes are durable *before*
+``os.replace`` swings the name.  This rule flags, inside the persistence
+modules, any function that calls ``os.replace``/``os.rename`` without an
+``os.fsync`` earlier in the same function, and any use of ``os.rename``
+itself (``os.replace`` is the portable atomic variant).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from ..lint import AuditModule, Rule, register
+
+
+def _calls(func: ast.AST, module_name: str, attr: str) -> List[ast.Call]:
+    found = []
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = node.func
+        if (
+            isinstance(callee, ast.Attribute)
+            and callee.attr == attr
+            and isinstance(callee.value, ast.Name)
+            and callee.value.id == module_name
+        ):
+            found.append(node)
+    return found
+
+
+def _check(module: AuditModule) -> Iterator[Tuple[int, str]]:
+    for func in ast.walk(module.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for rename in _calls(func, "os", "rename"):
+            yield (
+                rename.lineno,
+                f"os.rename in {func.name}(); use os.replace — rename is not "
+                f"an atomic overwrite on every platform",
+            )
+        replaces = _calls(func, "os", "replace")
+        if not replaces:
+            continue
+        fsyncs = _calls(func, "os", "fsync")
+        for rep in replaces:
+            if not any(f.lineno < rep.lineno for f in fsyncs):
+                yield (
+                    rep.lineno,
+                    f"os.replace in {func.name}() with no preceding os.fsync: "
+                    f"the temp file's bytes must be durable before the rename, "
+                    f"or a crash can publish a torn file",
+                )
+
+
+register(
+    Rule(
+        rule_id="AUD103",
+        name="fsync-before-replace",
+        severity="error",
+        description=(
+            "persistence code (lifecycle/snapshot.py, service/journal.py) "
+            "must fsync written bytes before os.replace publishes them"
+        ),
+        roles=frozenset({"persistence"}),
+        check=_check,
+        established_by="PR 6 (snapshots), PR 7 (journal)",
+    )
+)

@@ -161,6 +161,8 @@ class RankSelectQuotientFilter(AbstractFilter):
         ordering happens host-side before the serial kernel runs.
         """
         keys = np.asarray(keys, dtype=np.uint64)
+        if values is not None and np.any(np.asarray(values)):
+            raise UnsupportedOperationError("the RSQF does not associate values")
         if keys.size == 0:
             return 0
         fingerprints = self.scheme.hash_key(keys)

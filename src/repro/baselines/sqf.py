@@ -171,6 +171,8 @@ class StandardQuotientFilter(AbstractFilter):
         same table and the same simulated hardware events.
         """
         keys = np.asarray(keys, dtype=np.uint64)
+        if values is not None and np.any(np.asarray(values)):
+            raise UnsupportedOperationError("the SQF does not associate values")
         if keys.size == 0:
             return 0
         fingerprints = self.scheme.hash_key(keys)

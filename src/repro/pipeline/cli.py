@@ -12,6 +12,10 @@ Commands
     Re-evaluate every stage's paper expectations against the artifacts on
     disk; exits non-zero if any expectation fails.  This is the gate CI
     runs after ``repro reproduce``.
+``repro audit``
+    Static analysis: the repo's custom AST lints, the service lock-order
+    check (against ``docs/lock_hierarchy.json``), and — with ``--race`` —
+    the dynamic lockset race detector over the chaos traffic scenario.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ import pathlib
 import sys
 from typing import List, Optional
 
+from ..audit.cli import add_audit_parser, run_audit
 from .artifacts import DEFAULT_RESULTS_DIR, load_manifest, load_stage_artifact
 from .presets import PRESET_NAMES, PRESETS, get_preset
 from .runner import default_jobs, run_stages
@@ -75,6 +80,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--results-dir", type=pathlib.Path, default=DEFAULT_RESULTS_DIR,
         help="artifact directory to check (default: %(default)s)",
     )
+
+    add_audit_parser(sub)
     return parser
 
 
@@ -198,6 +205,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         args.retries)
     if args.command == "check":
         return _cmd_check(args.results_dir)
+    if args.command == "audit":
+        return run_audit(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -112,6 +112,8 @@ class FaultInjector:
         if self._fire("worker_crash", token, self.config.worker_crash_rate):
             raise WorkerCrashFault(f"injected worker crash ({token})")
         if self._fire("filter_full", token, self.config.filter_full_rate):
+            # audit: ignore[AUD104] - synthetic storm: there is no real filter
+            # behind it, so no occupancy snapshot exists to attach
             raise FilterFullError(f"injected filter-full storm ({token})")
         if self._fire("slow_batch", token, self.config.slow_batch_rate):
             time.sleep(self.config.slow_batch_s)

@@ -235,9 +235,9 @@ class FilterRegistry:
         assert entry.snapshot_path is not None
         try:
             entry.filt = load_filter(entry.snapshot_path)
-            self.stats["restores"] += 1
+            self._bump("restores")
         except SnapshotError:
-            self.stats["torn_restores"] += 1
+            self._bump("torn_restores")
             if self.torn_restore_policy == "error":
                 raise
             # Recreate an empty filter of the same shape; the journal replay
@@ -245,12 +245,31 @@ class FilterRegistry:
             entry.filt = entry.factory()
             entry.recreated = True
 
+    def _bump(self, stat: str) -> None:
+        """Increment a counter under the registry lock.
+
+        ``dict[key] += 1`` is a read-modify-write: two workers restoring
+        different filters at once can lose one of the increments without
+        the lock (op_lock only serializes per filter, not across filters).
+        """
+        with self._lock:
+            self.stats[stat] += 1
+
     def replace(self, name: str, filt: AbstractFilter) -> None:
-        """Swap the live filter object (after an out-of-place expansion)."""
+        """Swap the live filter object (after an out-of-place expansion).
+
+        ``entry.filt`` is op_lock-protected everywhere else (restore, evict,
+        in-batch expansion); swapping it under the registry lock alone could
+        tear a filter out from under a worker mid-batch.  Look the entry up
+        under the registry lock, then swap under its ``op_lock`` — in that
+        order, matching the documented hierarchy (op_lock is never taken
+        while holding the registry lock).
+        """
         with self._lock:
             entry = self._entries.get(name)
-            if entry is None:
-                raise UnknownFilterError(f"no filter named {name!r} is registered")
+        if entry is None:
+            raise UnknownFilterError(f"no filter named {name!r} is registered")
+        with entry.op_lock:
             entry.filt = filt
 
     # ------------------------------------------------------------ eviction
@@ -289,12 +308,12 @@ class FilterRegistry:
             except Exception:
                 # A failed save must never lose data: keep the filter
                 # resident and report the fault instead of evicting blind.
-                self.stats["failed_evictions"] += 1
+                self._bump("failed_evictions")
                 return
             self.faults.on_snapshot_saved(entry.name, path)
             entry.snapshot_path = path
             entry.filt = None
-            self.stats["evictions"] += 1
+            self._bump("evictions")
 
     def flush(self) -> None:
         """Snapshot every resident filter (shutdown/checkpoint path)."""

@@ -229,6 +229,9 @@ class FilterService:
                 deadline_s if deadline_s is not None else self.config.default_deadline_s
             ),
         )
+        # Pre-publication write: the job is not yet in _jobs nor on the
+        # intake queue, so no other thread can observe the reassignment
+        # (a _done swap after publication would lose waiters forever).
         job._done = threading.Event()
         with self._lock:
             if job.request_id in self._jobs:  # raced duplicate
@@ -241,7 +244,9 @@ class FilterService:
         return job.request_id
 
     def status(self, request_id: str) -> JobStatus:
-        return self._get(request_id).status
+        job = self._get(request_id)
+        with self._lock:  # job.status transitions happen under the lock
+            return job.status
 
     def result(self, request_id: str, timeout: Optional[float] = None) -> JobResult:
         """Block until the job is terminal and return its result."""
@@ -329,6 +334,8 @@ class FilterService:
                     result=result,
                     finished_at=now,
                 )
+                # Pre-publication write (job enters _jobs on the next line,
+                # already terminal): no waiter can exist yet.
                 job._done = threading.Event()
                 job._done.set()
                 service._jobs[request_id] = job
@@ -341,6 +348,8 @@ class FilterService:
                 values=record["values"],
                 submitted_at=now,
             )
+            # Pre-publication write: the replayed job is published under the
+            # lock on the next line; no other thread holds it yet.
             job._done = threading.Event()
             with service._lock:
                 service._jobs[job.request_id] = job
@@ -408,16 +417,22 @@ class FilterService:
 
     def _execute(self, batch: Batch) -> None:
         now = self.clock()
-        batch.jobs = self._admit_jobs(batch.jobs, now)
-        if not batch.jobs:
-            return
-        batch.attempts += 1
+        admitted = self._admit_jobs(batch.jobs, now)
         with self._lock:
-            for job in batch.jobs:
-                job.status = JobStatus.RUNNING
-                job.attempts = batch.attempts
-                if job.started_at is None:
-                    job.started_at = now
+            # Batch fields are written under the lock even though batches
+            # move between dispatcher and workers by queue handoff: the
+            # handoff is a happens-before edge, but keeping a single
+            # visible discipline lets the race detector check it.
+            batch.jobs = admitted
+            if admitted:
+                batch.attempts += 1
+                for job in admitted:
+                    job.status = JobStatus.RUNNING
+                    job.attempts = batch.attempts
+                    if job.started_at is None:
+                        job.started_at = now
+        if not admitted:
+            return
         try:
             self.faults.on_batch_start(batch.token())
             with self.registry.acquire(batch.filter_name) as entry:
@@ -440,8 +455,12 @@ class FilterService:
     def _admit_jobs(self, jobs: List[Job], now: float) -> List[Job]:
         """Drop cancelled/expired jobs before execution (effects: none)."""
         admitted = []
+        # cancel() flips the flag under the lock; snapshot it the same way
+        # (the lock cannot be held across _finalize_job, which re-takes it).
+        with self._lock:
+            cancelled = {job.request_id for job in jobs if job.cancel_requested}
         for job in jobs:
-            if job.cancel_requested:
+            if job.request_id in cancelled:
                 self._finalize_job(job, JobStatus.CANCELLED, error="cancelled")
             elif job.expired(now):
                 self._finalize_job(
@@ -572,6 +591,8 @@ class FilterService:
                     with self.registry.acquire(batch.filter_name) as entry:
                         with entry.op_lock:
                             self._try_expand(entry, batch)
+                # audit: ignore[AUD105] - expansion is opportunistic: the batch
+                # retries either way, and the retry path reports real errors
                 except Exception:  # noqa: BLE001 - growth is best-effort here
                     pass
             self._schedule_retry(batch)
@@ -592,7 +613,7 @@ class FilterService:
         with self._lock:
             for job in batch.jobs:
                 job.status = JobStatus.QUEUED
-        batch.opened_at = self.clock() + self._backoff_s(batch)
+            batch.opened_at = self.clock() + self._backoff_s(batch)
         self._intake.put(batch)
 
     # ------------------------------------------------------------- finalization

@@ -1,0 +1,8 @@
+"""Fixture: a rule-scoped ignore directive parses cleanly."""
+
+
+def helper() -> list:
+    out = []
+    for item in (1, 2, 3):  # audit: ignore[AUD101]
+        out.append(item)
+    return out

@@ -1,0 +1,5 @@
+"""Fixture: a bare ignore directive (no rule list) is itself an error."""
+
+
+def helper() -> int:
+    return 1  # audit: ignore

@@ -1,0 +1,21 @@
+# audit: module-role=bulk-api
+"""Fixture: bulk path vectorized; small-batch fallback behind the guard."""
+
+import numpy as np
+
+
+class ToyFilter:
+    prefers_sequential = False
+
+    def insert(self, key: int) -> bool:
+        return bool(key)
+
+    def bulk_insert(self, keys, values=None):
+        keys = np.asarray(keys, dtype=np.uint64)
+        if values is not None:
+            raise ValueError("no values")
+        if self.prefers_sequential:
+            return np.fromiter(
+                (self.insert(int(k)) for k in keys), dtype=bool, count=keys.size
+            )
+        return keys % 2 == 0

@@ -1,0 +1,18 @@
+# audit: module-role=bulk-api
+"""Fixture: per-item loop over a batch argument inside a bulk_* method."""
+
+import numpy as np
+
+
+class ToyFilter:
+    def insert(self, key: int) -> bool:
+        return bool(key)
+
+    def bulk_insert(self, keys, values=None):
+        keys = np.asarray(keys, dtype=np.uint64)
+        if values is not None:
+            raise ValueError("no values")
+        out = np.empty(keys.size, dtype=bool)
+        for i, key in enumerate(keys):
+            out[i] = self.insert(int(key))
+        return out

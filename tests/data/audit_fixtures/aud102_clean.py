@@ -1,0 +1,11 @@
+# audit: module-role=deterministic
+"""Fixture: seeded randomness and injected clocks stay deterministic."""
+
+import numpy as np
+
+
+def shuffle_batch(keys, seed: int, clock=None):
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(keys))
+    stamp = clock() if clock is not None else 0.0
+    return keys[order], stamp

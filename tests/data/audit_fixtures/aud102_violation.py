@@ -1,0 +1,12 @@
+# audit: module-role=deterministic
+"""Fixture: ambient nondeterminism in a deterministic-role module."""
+
+import time
+
+import numpy as np
+
+
+def shuffle_batch(keys):
+    rng = np.random.permutation(len(keys))
+    stamp = time.time()
+    return keys[rng], stamp

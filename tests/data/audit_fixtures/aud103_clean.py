@@ -1,0 +1,13 @@
+# audit: module-role=persistence
+"""Fixture: the crash-safe idiom — write, flush, fsync, then replace."""
+
+import os
+
+
+def save_blob(path: str, payload: bytes) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(payload)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)

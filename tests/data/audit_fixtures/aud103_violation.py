@@ -1,0 +1,15 @@
+# audit: module-role=persistence
+"""Fixture: snapshot replace without fsync, plus non-atomic rename."""
+
+import os
+
+
+def save_blob(path: str, payload: bytes) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(payload)
+    os.replace(tmp, path)
+
+
+def adopt_blob(src: str, dst: str) -> None:
+    os.rename(src, dst)

@@ -1,0 +1,19 @@
+"""Fixture: capacity errors carry the occupancy snapshot keywords."""
+
+
+class FilterFullError(RuntimeError):
+    def __init__(self, message, n_items=0, n_slots=0, load_factor=0.0):
+        super().__init__(message)
+        self.n_items = n_items
+        self.n_slots = n_slots
+        self.load_factor = load_factor
+
+
+def insert(n_items: int, n_slots: int) -> None:
+    if n_items >= n_slots:
+        raise FilterFullError(
+            "filter is full",
+            n_items=n_items,
+            n_slots=n_slots,
+            load_factor=n_items / n_slots,
+        )

@@ -1,0 +1,10 @@
+"""Fixture: capacity errors raised without their keyword context."""
+
+
+class FilterFullError(RuntimeError):
+    pass
+
+
+def insert(n_items: int, n_slots: int) -> None:
+    if n_items >= n_slots:
+        raise FilterFullError("filter is full")

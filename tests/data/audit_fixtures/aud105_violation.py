@@ -1,0 +1,21 @@
+# audit: module-role=service
+"""Fixture: swallowed exceptions — a bare except and a silent except-pass."""
+
+
+def poll(jobs) -> int:
+    done = 0
+    for job in jobs:
+        try:
+            job.run()
+            done += 1
+        except:  # noqa: E722
+            done -= 1
+    return done
+
+
+def drain(queue) -> None:
+    while True:
+        try:
+            queue.get_nowait()
+        except KeyError:
+            pass

@@ -1,0 +1,16 @@
+# audit: module-role=bulk-api
+"""Fixture: bulk_insert rejects values it cannot store and coerces keys."""
+
+import numpy as np
+
+
+class UnsupportedOperationError(RuntimeError):
+    pass
+
+
+class ToyFilter:
+    def bulk_insert(self, keys, values=None):
+        keys = np.asarray(keys, dtype=np.uint64)
+        if values is not None and np.any(np.asarray(values)):
+            raise UnsupportedOperationError("this filter does not store values")
+        return np.ones(keys.size, dtype=bool)

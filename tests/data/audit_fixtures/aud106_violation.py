@@ -1,0 +1,11 @@
+# audit: module-role=bulk-api
+"""Fixture: bulk_insert drops 'values' silently and never coerces keys."""
+
+import numpy as np
+
+
+class ToyFilter:
+    def bulk_insert(self, keys, values=None):
+        out = np.zeros(len(keys), dtype=bool)
+        out[:] = True
+        return out

@@ -1,0 +1,81 @@
+"""`python -m repro audit` exit codes and report formats."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.pipeline.cli import main
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+FIXTURES = REPO / "tests" / "data" / "audit_fixtures"
+
+
+def test_audit_exits_zero_on_the_repo(monkeypatch, capsys):
+    monkeypatch.chdir(REPO)
+    assert main(["audit"]) == 0
+    out = capsys.readouterr().out
+    assert "audit: ok" in out
+    assert "lock-order:" in out
+
+
+@pytest.mark.parametrize(
+    "rule_id", ["aud100", "aud101", "aud102", "aud103", "aud104", "aud105", "aud106"]
+)
+def test_audit_exits_nonzero_on_each_violating_fixture(rule_id, capsys):
+    path = FIXTURES / f"{rule_id}_violation.py"
+    assert main(["audit", "--no-locks", str(path)]) == 1
+    assert rule_id.upper() in capsys.readouterr().out
+
+
+def test_audit_exits_zero_on_clean_fixtures(capsys):
+    paths = [str(FIXTURES / f"aud10{i}_clean.py") for i in range(7)]
+    assert main(["audit", "--no-locks", *paths]) == 0
+
+
+def test_audit_json_format(monkeypatch, capsys):
+    monkeypatch.chdir(REPO)
+    assert main(["audit", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["lint"]["errors"] == 0
+    assert payload["locks"]["ok"] is True
+    assert payload["locks"]["hierarchy"]
+
+
+def test_audit_detects_stale_lock_artifact(monkeypatch, tmp_path, capsys):
+    monkeypatch.chdir(REPO)
+    stale = tmp_path / "hierarchy.json"
+    stale.write_text('{"locks": [], "edges": [], "hierarchy": []}')
+    assert main(["audit", "--no-lint", "--lock-artifact", str(stale)]) == 1
+    assert "stale" in capsys.readouterr().out
+
+
+def test_audit_writes_lock_artifact(monkeypatch, tmp_path, capsys):
+    monkeypatch.chdir(REPO)
+    target = tmp_path / "hierarchy.json"
+    assert main(
+        ["audit", "--no-lint", "--write-lock-artifact", "--lock-artifact", str(target)]
+    ) == 0
+    fresh = json.loads(target.read_text(encoding="utf-8"))
+    committed = json.loads(
+        (REPO / "docs" / "lock_hierarchy.json").read_text(encoding="utf-8")
+    )
+    assert fresh == committed
+
+
+def test_audit_usage_error_exit_code(monkeypatch, capsys):
+    monkeypatch.chdir(REPO)
+    assert main(["audit", "--no-locks", "does-not-exist.py"]) == 2
+
+
+def test_audit_race_mode_writes_report(monkeypatch, tmp_path, capsys):
+    monkeypatch.chdir(REPO)
+    report_path = tmp_path / "race.json"
+    code = main(
+        ["audit", "--no-lint", "--no-locks", "--race-report", str(report_path)]
+    )
+    assert code == 0
+    payload = json.loads(report_path.read_text(encoding="utf-8"))
+    assert payload["n_harmful"] == 0
+    assert payload["n_accesses"] > 0

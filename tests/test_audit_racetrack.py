@@ -1,0 +1,145 @@
+"""Dynamic lockset race detector: flags a deliberately racy toy service,
+stays quiet on its lock-disciplined twin, and certifies the real service
+under the chaos traffic scenario."""
+
+import threading
+
+import pytest
+
+from repro.audit.racetrack import (
+    MONITORED_FIELDS,
+    RaceTracker,
+    TrackedLock,
+    instrument_service,
+    run_race_audit,
+)
+
+
+class _Counter:
+    """Toy shared record (stands in for Job/Batch in the fixtures)."""
+
+    def __init__(self):
+        self.hits = 0
+
+
+def _hammer(threads, target):
+    workers = [threading.Thread(target=target) for _ in range(threads)]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+
+
+def test_racy_toy_service_is_flagged():
+    tracker = RaceTracker()
+    counter = _Counter()
+
+    def work():
+        for _ in range(200):
+            tracker.record(counter, "Counter", "hits", is_write=False)
+            value = counter.hits
+            tracker.record(counter, "Counter", "hits", is_write=True)
+            counter.hits = value + 1
+
+    _hammer(2, work)
+    report = tracker.report()
+    assert not report.ok
+    candidate = report.harmful[0]
+    assert candidate.variable == "Counter.hits"
+    # Both conflicting accesses carry their stack traces.
+    assert candidate.current.stack
+    assert candidate.previous is not None and candidate.previous.stack
+    assert "Counter.hits" in report.render()
+
+
+def test_locked_toy_service_is_clean():
+    tracker = RaceTracker()
+    counter = _Counter()
+    lock = TrackedLock(tracker, "counter_lock")
+
+    def work():
+        for _ in range(200):
+            with lock:
+                tracker.record(counter, "Counter", "hits", is_write=False)
+                value = counter.hits
+                tracker.record(counter, "Counter", "hits", is_write=True)
+                counter.hits = value + 1
+
+    _hammer(2, work)
+    report = tracker.report()
+    assert report.ok
+    assert report.candidates == []
+
+
+def test_creating_thread_initialisation_is_not_a_race():
+    """Init writes before publication (the EXCLUSIVE state) never report."""
+    tracker = RaceTracker()
+    counter = _Counter()
+    lock = TrackedLock(tracker, "lock")
+    for _ in range(5):  # unlocked writes, but single-threaded
+        tracker.record(counter, "Counter", "hits", is_write=True)
+
+    def reader():
+        with lock:
+            tracker.record(counter, "Counter", "hits", is_write=False)
+
+    _hammer(1, reader)
+    assert tracker.report().ok
+
+
+def test_benign_allowlist_downgrades_candidates():
+    tracker = RaceTracker(benign={("Counter", "hits"): "monotonic telemetry"})
+    counter = _Counter()
+
+    def work():
+        for _ in range(50):
+            tracker.record(counter, "Counter", "hits", is_write=True)
+
+    _hammer(2, work)
+    report = tracker.report()
+    assert report.ok  # benign candidates do not gate
+    assert report.candidates and report.candidates[0].benign
+    assert "monotonic telemetry" in report.render()
+
+
+def test_instrumentation_is_reversible():
+    from repro.service import jobs as jobs_module
+    from repro.service import registry as registry_module
+    from repro.service import service as service_module
+
+    original_setattr = jobs_module.Job.__setattr__
+    original_entry = registry_module._Entry
+    with instrument_service() as tracker:
+        assert registry_module._Entry is not original_entry
+        assert service_module.threading is not threading
+        assert jobs_module.Job.__setattr__ is not original_setattr
+        assert isinstance(tracker, RaceTracker)
+    assert registry_module._Entry is original_entry
+    assert service_module.threading is threading
+    assert jobs_module.Job.__setattr__ is original_setattr
+
+
+def test_monitored_field_modes_match_the_shared_records():
+    from repro.service.batcher import Batch
+    from repro.service.jobs import Job
+    from repro.service.registry import _Entry
+
+    for cls, fields in (
+        (Job, MONITORED_FIELDS["Job"]),
+        (Batch, MONITORED_FIELDS["Batch"]),
+        (_Entry, MONITORED_FIELDS["_Entry"]),
+    ):
+        declared = set(cls.__dataclass_fields__)
+        unknown = set(fields) - declared
+        assert not unknown, f"{cls.__name__} monitors unknown fields {unknown}"
+        assert set(fields.values()) <= {"rw", "w"}
+
+
+@pytest.mark.parametrize("attempt", range(2))
+def test_chaos_scenario_runs_race_free(tmp_path, attempt):
+    """The audit mode of the chaos smoke: the real service under seeded
+    faults (worker crashes, slow batches, filter-full storms) with every
+    service lock tracked must produce no harmful race candidates."""
+    report = run_race_audit(tmp_path / f"run{attempt}")
+    assert report.n_accesses > 0
+    assert report.harmful == [], report.render()
