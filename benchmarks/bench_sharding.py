@@ -1,0 +1,15 @@
+"""Sharded-filter scaling curve (perf-trajectory guard).
+
+Thin wrapper over the ``sharding`` pipeline stage (``python -m repro run
+sharding``).  Measures bulk insert/query wall-clock across 1/2/4/8 GQF
+shards running on a process pool over shared-memory segments and writes
+``benchmarks/results/BENCH_SHARDING.json`` (the full curve with rates,
+speedups and balance) for ``repro check --perf`` to compare against.  The
+scaling expectations are core-count aware: on a single-core host the
+curve is flat and only the accounting invariants gate; CI's multi-core
+runners must show real speedup.
+"""
+
+
+def test_sharding_scaling_curve(run_stage):
+    run_stage("sharding")

@@ -103,7 +103,9 @@ def figure5_cg_sweep(
     return results
 
 
-def figure5_optimal_cg(results: Dict[str, Dict[int, BenchmarkPoint]], phase: str = PHASE_INSERT) -> Dict[str, int]:
+def figure5_optimal_cg(
+    results: Dict[str, Dict[int, BenchmarkPoint]], phase: str = PHASE_INSERT
+) -> Dict[str, int]:
     """The best cooperative-group size per variant (paper: 4 for most)."""
     best: Dict[str, int] = {}
     for label, per_cg in results.items():

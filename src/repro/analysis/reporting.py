@@ -31,7 +31,9 @@ def format_table(
 
     text_rows = [[fmt(c) for c in row] for row in rows]
     widths = [
-        max(len(str(headers[i])), *(len(r[i]) for r in text_rows)) if text_rows else len(str(headers[i]))
+        max(len(str(headers[i])), *(len(r[i]) for r in text_rows))
+        if text_rows
+        else len(str(headers[i]))
         for i in range(len(headers))
     ]
     lines: List[str] = []

@@ -44,11 +44,19 @@ ROLE_PATTERNS: Tuple[Tuple[str, str], ...] = (
     # Modules owning the vectorized bulk paths (PRs 1-4).
     ("bulk-api", "repro/core/"),
     ("bulk-api", "repro/baselines/"),
-    # Crash-safe persistence (PR 6 snapshots, PR 7 journal).
+    # Crash-safe persistence (PR 6 snapshots, PR 7 journal, PR 10 shard sets).
     ("persistence", "repro/lifecycle/snapshot.py"),
+    ("persistence", "repro/lifecycle/shardset.py"),
     ("persistence", "repro/service/journal.py"),
     # The threaded service (PR 7): worker loops, locks, retries.
     ("service", "repro/service/"),
+    # Process-parallel sharding (PR 10): routing and the worker entry point
+    # must replay deterministically; the wrapper owns bulk paths and a lock
+    # + pool lifecycle, so it carries the bulk-api and service disciplines.
+    ("deterministic", "repro/sharding/router.py"),
+    ("deterministic", "repro/sharding/worker.py"),
+    ("bulk-api", "repro/sharding/sharded.py"),
+    ("service", "repro/sharding/sharded.py"),
 )
 
 #: Meta-rule ID for malformed suppression directives.

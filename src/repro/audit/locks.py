@@ -39,8 +39,9 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from .lint import iter_python_files
 
-#: Default analysis root: the threaded service layer.
-DEFAULT_LOCK_PATHS = ("src/repro/service",)
+#: Default analysis roots: the threaded service layer and the sharded-filter
+#: wrapper (whose per-filter lock nests inside the service's op_lock).
+DEFAULT_LOCK_PATHS = ("src/repro/service", "src/repro/sharding")
 
 _LOCK_FACTORIES = {"Lock", "RLock"}
 _CONDITION_FACTORY = "Condition"
@@ -238,7 +239,8 @@ class _FunctionScanner(ast.NodeVisitor):
         if isinstance(callee, ast.Attribute) and name in ("acquire", "release"):
             lock = self.resolve_lock(callee.value)
             if lock is not None:
-                self.summary.violations_hook(lock, self._site(node), name)  # type: ignore[attr-defined]
+                site = self._site(node)
+                self.summary.violations_hook(lock, site, name)  # type: ignore[attr-defined]
         if name in self.known_methods:
             hint: Optional[str] = None
             if isinstance(callee, ast.Attribute):

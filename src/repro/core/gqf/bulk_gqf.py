@@ -439,6 +439,30 @@ class BulkGQF(AbstractFilter):
     def restore_state(self, state: Mapping[str, np.ndarray]) -> None:
         self.core.import_state(state)
 
+    # ------------------------------------------------------------ shared state
+    def adopt_state(self, state: Mapping[str, np.ndarray]) -> None:
+        """Rebind the table onto shared-memory views (see the core method).
+
+        Adopted filters must not grow in place (growth reallocates the
+        table, detaching it from the shared segment), so adoption requires
+        ``auto_resize=False``; the sharding layer rebalances from the parent
+        process instead.
+        """
+        if self.auto_resize:
+            raise ValueError(
+                "auto-resizing filters cannot adopt shared buffers; "
+                "construct the shard with auto_resize=False"
+            )
+        self.core.adopt_state(state)
+
+    def refresh_shared(self) -> None:
+        """Reload scalar counters / drop caches after another process wrote."""
+        self.core.refresh_shared()
+
+    def flush_shared(self) -> None:
+        """Publish the scalar counters back to the shared segment."""
+        self.core.flush_shared()
+
     # ---------------------------------------------------------------- analysis
     def active_threads_for(self, n_ops: int) -> int:
         """Bulk kernels map one thread per (half of the) regions per phase."""

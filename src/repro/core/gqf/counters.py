@@ -148,7 +148,9 @@ def run_length(items: Sequence[Tuple[int, int]]) -> int:
     return len(encode_run(items))
 
 
-def increment(items: List[Tuple[int, int]], remainder: int, delta: int = 1) -> List[Tuple[int, int]]:
+def increment(
+    items: List[Tuple[int, int]], remainder: int, delta: int = 1
+) -> List[Tuple[int, int]]:
     """Return a new item list with ``remainder``'s count increased by ``delta``.
 
     Appends the remainder with count ``delta`` if it was not present.
@@ -169,7 +171,9 @@ def increment(items: List[Tuple[int, int]], remainder: int, delta: int = 1) -> L
     return out
 
 
-def decrement(items: List[Tuple[int, int]], remainder: int, delta: int = 1) -> Tuple[List[Tuple[int, int]], bool]:
+def decrement(
+    items: List[Tuple[int, int]], remainder: int, delta: int = 1
+) -> Tuple[List[Tuple[int, int]], bool]:
     """Decrease ``remainder``'s count by ``delta`` (removing it at zero).
 
     Returns ``(new_items, found)``.  ``found`` is False when the remainder

@@ -99,7 +99,11 @@ class QuotientFilterCore:
         self.remainder_bits = int(remainder_bits)
         self.recorder = recorder
         self.counting = bool(counting)
-        self.scheme = FingerprintScheme(quotient_bits, min(remainder_bits, 64 - quotient_bits) if quotient_bits + remainder_bits > 64 else remainder_bits)
+        if quotient_bits + remainder_bits > 64:
+            effective_remainder_bits = min(remainder_bits, 64 - quotient_bits)
+        else:
+            effective_remainder_bits = remainder_bits
+        self.scheme = FingerprintScheme(quotient_bits, effective_remainder_bits)
         self.n_canonical_slots = 1 << self.quotient_bits
         if slack_slots is None:
             # Enough overflow room for the longest cluster, without dominating
@@ -122,6 +126,10 @@ class QuotientFilterCore:
         #: Memoised whole-table decode (host-side); every mutation drops it,
         #: and the batch rebuild re-seeds it from the merged item arrays.
         self._decoded_cache: Optional[Tuple[np.ndarray, ...]] = None
+        #: When the table is adopted onto shared memory (:meth:`adopt_state`),
+        #: the int64[2] view holding [n_distinct, total_count]; None for
+        #: ordinary heap-allocated tables.
+        self._shared_scalars: Optional[np.ndarray] = None
 
     # ---------------------------------------------------------------- metrics
     @property
@@ -171,7 +179,9 @@ class QuotientFilterCore:
                  shifted: int = 0) -> None:
         self.recorder.add(
             cache_line_reads=self._slot_lines(read_slots) + metadata_lines,
-            cache_line_writes=self._slot_lines(write_slots) + (metadata_lines if write_slots else 0),
+            cache_line_writes=(
+                self._slot_lines(write_slots) + (metadata_lines if write_slots else 0)
+            ),
             slots_shifted=shifted,
             instructions=4 + read_slots + write_slots,
         )
@@ -942,13 +952,76 @@ class QuotientFilterCore:
                 f"slot section holds {slots.size} slots, table has {data.size}"
             )
         data[:] = slots.astype(data.dtype, copy=False)
-        self.occupieds = Bitvector.from_words(state["occupieds"], self.total_slots)
-        self.runends = Bitvector.from_words(state["runends"], self.total_slots)
-        self.slot_used = Bitvector.from_words(state["slot_used"], self.total_slots)
+        if self._shared_scalars is None:
+            self.occupieds = Bitvector.from_words(state["occupieds"], self.total_slots)
+            self.runends = Bitvector.from_words(state["runends"], self.total_slots)
+            self.slot_used = Bitvector.from_words(state["slot_used"], self.total_slots)
+        else:
+            # Adopted tables must keep writing through the shared-memory
+            # buffers, so restore the metadata bits in place of the views
+            # instead of rebinding fresh heap vectors.
+            for bv, section in (
+                (self.occupieds, "occupieds"),
+                (self.runends, "runends"),
+                (self.slot_used, "slot_used"),
+            ):
+                words = np.asarray(state[section], dtype=np.uint64)
+                if words.size != bv.n_words:
+                    raise SnapshotError(
+                        f"snapshot section {section!r} holds {words.size} "
+                        f"words, table has {bv.n_words}"
+                    )
+                bv.words[:] = words
         scalars = np.asarray(state["scalars"], dtype=np.int64)
         self._n_distinct = int(scalars[0])
         self._total_count = int(scalars[1])
         self._decoded_cache = None
+        if self._shared_scalars is not None:
+            self.flush_shared()
+
+    # ----------------------------------------------------------- shared state
+    def adopt_state(self, state: "Mapping[str, np.ndarray]") -> None:
+        """Rebind the table onto externally allocated buffers, zero-copy.
+
+        The shared-memory allocation path of :mod:`repro.sharding`: ``state``
+        carries the same named sections as :meth:`export_state`, but backed
+        by ``multiprocessing.shared_memory`` views.  After adoption every
+        slot/metadata mutation writes straight through to the shared
+        segment; only the two scalar counters live as Python ints and are
+        synchronised explicitly with :meth:`refresh_shared` (at task start,
+        after another process may have mutated the table) and
+        :meth:`flush_shared` (at task end).
+        """
+        slots = np.asarray(state["slots"])
+        if slots.size != self.total_slots or slots.dtype != self.slots.data.dtype:
+            raise SnapshotError(
+                f"cannot adopt a {slots.dtype} slot buffer of {slots.size} "
+                f"slots; table needs {self.slots.data.dtype} x {self.total_slots}"
+            )
+        self.slots.data = slots
+        self.occupieds = Bitvector.adopt_words(state["occupieds"], self.total_slots)
+        self.runends = Bitvector.adopt_words(state["runends"], self.total_slots)
+        self.slot_used = Bitvector.adopt_words(state["slot_used"], self.total_slots)
+        scalars = np.asarray(state["scalars"])
+        if scalars.dtype != np.int64 or scalars.size != 2:
+            raise SnapshotError("scalar section must be int64[2]")
+        self._shared_scalars = scalars
+        self.refresh_shared()
+
+    def refresh_shared(self) -> None:
+        """Reload the scalar counters and drop caches after external writes."""
+        if self._shared_scalars is None:
+            raise SnapshotError("table is not adopted onto shared buffers")
+        self._n_distinct = int(self._shared_scalars[0])
+        self._total_count = int(self._shared_scalars[1])
+        self._decoded_cache = None
+
+    def flush_shared(self) -> None:
+        """Write the scalar counters back into the shared buffer."""
+        if self._shared_scalars is None:
+            raise SnapshotError("table is not adopted onto shared buffers")
+        self._shared_scalars[0] = self._n_distinct
+        self._shared_scalars[1] = self._total_count
 
     def extended(
         self, extra_quotient_bits: int = 1, name: Optional[str] = None

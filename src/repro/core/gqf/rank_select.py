@@ -338,6 +338,28 @@ class Bitvector:
         bv.words[-1] &= bv._pad_mask
         return bv
 
+    @classmethod
+    def adopt_words(cls, words: np.ndarray, n_bits: int) -> "Bitvector":
+        """Wrap an existing packed-word buffer **without copying**.
+
+        The shared-memory path of :mod:`repro.sharding`: the returned vector
+        reads and mutates ``words`` in place, so two processes adopting the
+        same buffer observe each other's updates.  ``words`` must be a
+        C-contiguous uint64 array of exactly the word count ``n_bits``
+        requires; the caller keeps the padding-bits-zero invariant (exported
+        words always satisfy it).
+        """
+        if not isinstance(words, np.ndarray) or words.dtype != np.uint64:
+            raise TypeError("adopt_words needs a uint64 ndarray")
+        bv = cls(n_bits)
+        if words.size != bv.n_words or not words.flags.c_contiguous:
+            raise ValueError(
+                f"adopt_words needs a contiguous buffer of {bv.n_words} words "
+                f"for {n_bits} bits, got {words.size}"
+            )
+        bv.words = words
+        return bv
+
     @property
     def nbytes_packed(self) -> int:
         """Packed size in bytes (1 bit per position)."""

@@ -176,10 +176,15 @@ class BlockedTable:
         for lane_indices in cg.strided_indices(0, self.config.block_size):
             lane_values = block[lane_indices]
             if vb:
-                lane_fps = lane_values >> np.uint64(vb) if lane_values.dtype == np.uint64 else lane_values >> vb
+                shift = np.uint64(vb) if lane_values.dtype == np.uint64 else vb
+                lane_fps = lane_values >> shift
             else:
                 lane_fps = lane_values
-            votes = (lane_fps == fingerprint) & (lane_values != EMPTY_SLOT) & (lane_values != TOMBSTONE_SLOT)
+            votes = (
+                (lane_fps == fingerprint)
+                & (lane_values != EMPTY_SLOT)
+                & (lane_values != TOMBSTONE_SLOT)
+            )
             ballot = cg.ballot(votes)
             if ballot:
                 leader = cg.elect_leader(ballot)
@@ -201,7 +206,11 @@ class BlockedTable:
         for lane_indices in cg.strided_indices(0, self.config.block_size):
             lane_values = block[lane_indices]
             lane_fps = lane_values >> vb if vb else lane_values
-            votes = (lane_fps == fingerprint) & (lane_values != EMPTY_SLOT) & (lane_values != TOMBSTONE_SLOT)
+            votes = (
+                (lane_fps == fingerprint)
+                & (lane_values != EMPTY_SLOT)
+                & (lane_values != TOMBSTONE_SLOT)
+            )
             ballot = cg.ballot(votes)
             while ballot:
                 leader = cg.elect_leader(ballot)

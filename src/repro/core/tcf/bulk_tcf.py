@@ -102,7 +102,9 @@ class BulkTCF(TCFLifecycle, AbstractFilter):
             1,
             int(np.ceil(self.table.n_slots * config.backing_fraction / BackingTable.BUCKET_WIDTH)),
         )
-        self.backing = BackingTable(n_backing_buckets, config, self.recorder, name="bulk-tcf-backing")
+        self.backing = BackingTable(
+            n_backing_buckets, config, self.recorder, name="bulk-tcf-backing"
+        )
         self._n_items = 0
         self.kernels = KernelContext(self.recorder)
         self._init_lifecycle(auto_resize, auto_resize_at)
@@ -431,7 +433,10 @@ class BulkTCF(TCFLifecycle, AbstractFilter):
         ):
             for block_idx in range(self.table.n_blocks):
                 lo = int(block_starts[block_idx])
-                hi = int(block_starts[block_idx + 1]) if block_idx + 1 < self.table.n_blocks else order_keys.size
+                if block_idx + 1 < self.table.n_blocks:
+                    hi = int(block_starts[block_idx + 1])
+                else:
+                    hi = order_keys.size
                 if lo >= hi:
                     continue
                 idx = order_idx[lo:hi]
@@ -491,7 +496,9 @@ class BulkTCF(TCFLifecycle, AbstractFilter):
         self.recorder.add(instructions=int(np.log2(max(2, self.config.block_size))))
         if vb:
             lo = np.searchsorted(block, np.uint64(fingerprint) << np.uint64(vb), side="left")
-            hi = np.searchsorted(block, (np.uint64(fingerprint) + np.uint64(1)) << np.uint64(vb), side="left")
+            hi = np.searchsorted(
+                block, (np.uint64(fingerprint) + np.uint64(1)) << np.uint64(vb), side="left"
+            )
             if hi > lo:
                 return int(block[lo]) & ((1 << vb) - 1)
             return None
@@ -558,7 +565,10 @@ class BulkTCF(TCFLifecycle, AbstractFilter):
     # ------------------------------------------------------------------ point API
     def insert(self, key: int, value: int = 0) -> bool:
         """Point insert (single-item bulk merge)."""
-        return self.bulk_insert(np.array([key], dtype=np.uint64), np.array([value], dtype=np.uint64)) == 1
+        return (
+            self.bulk_insert(np.array([key], dtype=np.uint64), np.array([value], dtype=np.uint64))
+            == 1
+        )
 
     def query(self, key: int) -> bool:
         return bool(self.bulk_query(np.array([key], dtype=np.uint64))[0])

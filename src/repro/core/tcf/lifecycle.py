@@ -53,6 +53,9 @@ class TCFLifecycle:
         self.n_resizes = 0
         #: key -> list of stored values; exists only when resizing is on.
         self._journal: Optional[Dict[int, List[int]]] = {} if self.auto_resize else None
+        #: int64[3] shared-memory view of the scalar counters once the
+        #: tables are adopted (:meth:`adopt_state`); None on the heap.
+        self._shared_scalars: Optional[np.ndarray] = None
 
     def _journal_add(self, key: int, value: int) -> None:
         if self._journal is not None:
@@ -164,6 +167,66 @@ class TCFLifecycle:
             state["journal_values"] = journal_values
         return state
 
+    # ------------------------------------------------------------ shared state
+    def adopt_state(self, state: Mapping[str, np.ndarray]) -> None:
+        """Rebind the tables onto shared-memory views, zero-copy.
+
+        The shared-memory allocation path of :mod:`repro.sharding`: the
+        named sections (same layout as :meth:`snapshot_state`) become the
+        live backing store, so every slot write goes straight to the shared
+        segment.  The scalar counters are synchronised explicitly with
+        :meth:`refresh_shared` / :meth:`flush_shared`.  Journaled filters
+        cannot adopt: the journal is a variable-size host dict that no fixed
+        segment can hold — the sharding layer keeps journals in the parent
+        process instead.
+        """
+        if self._journal is not None:
+            raise ValueError(
+                "journaled (auto_resize=True) TCFs cannot adopt shared "
+                "buffers; construct the shard with auto_resize=False"
+            )
+        table = np.asarray(state["table"])
+        if table.shape != self.table.slots.data.shape or table.dtype != self.table.slots.data.dtype:
+            raise ValueError(
+                f"cannot adopt a {table.dtype}{table.shape} table buffer; "
+                f"need {self.table.slots.data.dtype}{self.table.slots.data.shape}"
+            )
+        keys = np.asarray(state["backing_keys"])
+        values = np.asarray(state["backing_values"])
+        if (
+            keys.shape != self.backing.keys.data.shape
+            or values.shape != self.backing.values.data.shape
+        ):
+            raise ValueError("backing-table buffer shapes do not match the filter")
+        scalars = np.asarray(state["scalars"])
+        if scalars.dtype != np.int64 or scalars.size != 3:
+            raise ValueError("scalar section must be int64[3]")
+        self.table.slots.data = table
+        self.backing.keys.data = keys.astype(self.backing.keys.data.dtype, copy=False)
+        self.backing.values.data = values.astype(self.backing.values.data.dtype, copy=False)
+        self._shared_scalars = scalars
+        self.refresh_shared()
+
+    def refresh_shared(self) -> None:
+        """Reload the scalar counters and drop caches after external writes."""
+        scalars = getattr(self, "_shared_scalars", None)
+        if scalars is None:
+            raise ValueError("filter is not adopted onto shared buffers")
+        self._n_items = int(scalars[0])
+        self.backing._n_items = int(scalars[1])
+        self.n_resizes = int(scalars[2])
+        if hasattr(self, "_block_lines_cache"):
+            self._block_lines_cache = None
+
+    def flush_shared(self) -> None:
+        """Write the scalar counters back into the shared buffer."""
+        scalars = getattr(self, "_shared_scalars", None)
+        if scalars is None:
+            raise ValueError("filter is not adopted onto shared buffers")
+        scalars[0] = self._n_items
+        scalars[1] = self.backing._n_items
+        scalars[2] = self.n_resizes
+
     def restore_state(self, state: Mapping[str, np.ndarray]) -> None:
         restore_array(self.table.slots.peek(), state["table"], "table")
         restore_array(self.backing.keys.peek(), state["backing_keys"], "backing_keys")
@@ -183,3 +246,5 @@ class TCFLifecycle:
                 )
         if hasattr(self, "_block_lines_cache"):
             self._block_lines_cache = None
+        if getattr(self, "_shared_scalars", None) is not None:
+            self.flush_shared()

@@ -27,7 +27,9 @@ from .stats import GLOBAL_RECORDER, StatsRecorder
 RADIX_SORT_PASSES = 8
 
 
-def _account_sort(recorder: StatsRecorder, n: int, itemsize: int, passes: int = RADIX_SORT_PASSES) -> None:
+def _account_sort(
+    recorder: StatsRecorder, n: int, itemsize: int, passes: int = RADIX_SORT_PASSES
+) -> None:
     """Record the coalesced traffic of a radix sort over ``n`` items."""
     nbytes = n * itemsize
     recorder.add(

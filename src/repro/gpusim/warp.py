@@ -167,7 +167,9 @@ class CooperativeGroup:
         return f"CooperativeGroup(size={self.size})"
 
 
-def partition_warp(cg_size: int, recorder: Optional[StatsRecorder] = None) -> list[CooperativeGroup]:
+def partition_warp(
+    cg_size: int, recorder: Optional[StatsRecorder] = None
+) -> list[CooperativeGroup]:
     """Partition a warp into ``32 // cg_size`` cooperative groups."""
     cfg = WarpConfig(cg_size)
     return [CooperativeGroup(cg_size, recorder) for _ in range(cfg.groups_per_warp)]

@@ -91,8 +91,11 @@ def derive(
         reserved_arr = np.array(sorted(reserved_values), dtype=np.uint64)
         is_reserved = np.isin(fingerprint, reserved_arr)
         # Remap reserved fingerprints deterministically above the sentinels.
-        replacement = (np.uint64(max(reserved_values)) + np.uint64(1) +
-                       (fingerprint % np.uint64(max(1, (1 << fingerprint_bits) - n_reserved - 1)))) & fp_mask
+        replacement = (
+            np.uint64(max(reserved_values))
+            + np.uint64(1)
+            + (fingerprint % np.uint64(max(1, (1 << fingerprint_bits) - n_reserved - 1)))
+        ) & fp_mask
         replacement = np.maximum(replacement, np.uint64(max(reserved_values) + 1))
         fingerprint = np.where(is_reserved, replacement, fingerprint)
 

@@ -44,8 +44,12 @@ class XorwowGenerator:
             for _ in range(5):
                 v = (v + np.uint64(0x9E3779B97F4A7C15)) & np.uint64(0xFFFFFFFFFFFFFFFF)
                 z = v
-                z = ((z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)) & np.uint64(0xFFFFFFFFFFFFFFFF)
-                z = ((z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)) & np.uint64(0xFFFFFFFFFFFFFFFF)
+                z = ((z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)) & np.uint64(
+                    0xFFFFFFFFFFFFFFFF
+                )
+                z = ((z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)) & np.uint64(
+                    0xFFFFFFFFFFFFFFFF
+                )
                 z = (z ^ (z >> np.uint64(31))) & np.uint64(0xFFFFFFFFFFFFFFFF)
                 word = np.uint32(z & np.uint64(0xFFFFFFFF))
                 if word == 0:
@@ -94,8 +98,12 @@ class XorwowGenerator:
         idx = np.arange(n, dtype=np.uint64)
         with np.errstate(over="ignore"):
             v = base + idx * np.uint64(0x9E3779B97F4A7C15)
-            v = ((v ^ (v >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)) & np.uint64(0xFFFFFFFFFFFFFFFF)
-            v = ((v ^ (v >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)) & np.uint64(0xFFFFFFFFFFFFFFFF)
+            v = ((v ^ (v >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)) & np.uint64(
+                0xFFFFFFFFFFFFFFFF
+            )
+            v = ((v ^ (v >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)) & np.uint64(
+                0xFFFFFFFFFFFFFFFF
+            )
             v = v ^ (v >> np.uint64(31))
         return v.astype(np.uint64)
 

@@ -18,6 +18,7 @@ top of the core filters:
 
 from .merge import merge
 from .resize import expand
+from .shardset import load_shard_set, read_manifest, save_shard_set
 from .snapshot import (
     FORMAT_VERSION,
     load_filter,
@@ -29,7 +30,10 @@ __all__ = [
     "FORMAT_VERSION",
     "expand",
     "load_filter",
+    "load_shard_set",
     "merge",
+    "read_manifest",
     "read_snapshot",
     "save_filter",
+    "save_shard_set",
 ]

@@ -11,7 +11,10 @@ Commands
 ``repro check``
     Re-evaluate every stage's paper expectations against the artifacts on
     disk; exits non-zero if any expectation fails.  This is the gate CI
-    runs after ``repro reproduce``.
+    runs after ``repro reproduce``.  With ``--perf``, additionally gate
+    the fresh ``BENCH_*.json`` rates against the committed baseline
+    history under ``benchmarks/results/`` (``--perf-baseline-dir`` to
+    point elsewhere; see :mod:`repro.pipeline.perf`).
 ``repro audit``
     Static analysis: the repo's custom AST lints, the service lock-order
     check (against ``docs/lock_hierarchy.json``), and — with ``--race`` —
@@ -79,6 +82,16 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--results-dir", type=pathlib.Path, default=DEFAULT_RESULTS_DIR,
         help="artifact directory to check (default: %(default)s)",
+    )
+    check.add_argument(
+        "--perf", action="store_true",
+        help="also gate the run's BENCH_*.json rates against the committed "
+             "baseline history (median/slack floors; see repro.pipeline.perf)",
+    )
+    check.add_argument(
+        "--perf-baseline-dir", type=pathlib.Path, default=DEFAULT_RESULTS_DIR,
+        help="directory holding the committed BENCH_*.json baselines "
+             "(default: %(default)s)",
     )
 
     add_audit_parser(sub)
@@ -204,7 +217,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(stage_names(), args.preset, args.results_dir, args.jobs,
                         args.retries)
     if args.command == "check":
-        return _cmd_check(args.results_dir)
+        status = _cmd_check(args.results_dir)
+        if args.perf:
+            from .perf import check_perf
+
+            print()
+            status = max(status, check_perf(args.results_dir,
+                                            args.perf_baseline_dir))
+        return status
     if args.command == "audit":
         return run_audit(args)
     raise AssertionError(f"unhandled command {args.command!r}")

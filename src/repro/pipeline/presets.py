@@ -68,6 +68,11 @@ class Preset:
     service_clients: int
     service_jobs_per_client: int
     service_keys_per_job: int
+    #: Sharding stage: keys inserted / queried per curve point and the log2
+    #: of the *logical* slot count (split evenly across the shards).
+    sharding_keys: int
+    sharding_queries: int
+    sharding_lg: int
 
     def scaled(self, **overrides: object) -> "Preset":
         """Return a copy with some knobs overridden (used by tests)."""
@@ -102,6 +107,9 @@ PRESETS: Dict[str, Preset] = {
         service_clients=8,
         service_jobs_per_client=10,
         service_keys_per_job=48,
+        sharding_keys=250_000,
+        sharding_queries=100_000,
+        sharding_lg=19,
     ),
     "default": Preset(
         name="default",
@@ -127,6 +135,9 @@ PRESETS: Dict[str, Preset] = {
         service_clients=16,
         service_jobs_per_client=16,
         service_keys_per_job=128,
+        sharding_keys=600_000,
+        sharding_queries=200_000,
+        sharding_lg=20,
     ),
     "paper": Preset(
         name="paper",
@@ -152,6 +163,9 @@ PRESETS: Dict[str, Preset] = {
         service_clients=32,
         service_jobs_per_client=24,
         service_keys_per_job=256,
+        sharding_keys=1_200_000,
+        sharding_queries=400_000,
+        sharding_lg=21,
     ),
 }
 

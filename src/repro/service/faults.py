@@ -21,6 +21,10 @@ Sites:
 * ``torn_snapshot`` — truncates a snapshot file after it is written,
   simulating disk corruption between a save and a later restore; drives the
   registry's restore-failure handling.
+* ``shard_worker_kill`` — instructs a sharded filter's worker process to
+  ``os._exit`` before touching its segment, simulating a pool process dying
+  (SIGKILL-style: no cleanup runs); drives the pool-rebuild + retry path and
+  the shared-memory leak guards.
 
 The module also provides :func:`torn_snapshot_writes`, a context manager
 that kills :func:`repro.lifecycle.snapshot.save_filter` mid-stream — the
@@ -68,6 +72,7 @@ class FaultConfig:
     slow_batch_s: float = 0.002
     filter_full_rate: float = 0.0
     torn_snapshot_rate: float = 0.0
+    shard_worker_kill_rate: float = 0.0
 
     @property
     def any_enabled(self) -> bool:
@@ -78,6 +83,7 @@ class FaultConfig:
                 self.slow_batch_rate,
                 self.filter_full_rate,
                 self.torn_snapshot_rate,
+                self.shard_worker_kill_rate,
             )
         )
 
@@ -117,6 +123,19 @@ class FaultInjector:
             raise FilterFullError(f"injected filter-full storm ({token})")
         if self._fire("slow_batch", token, self.config.slow_batch_rate):
             time.sleep(self.config.slow_batch_s)
+
+    def on_shard_task(self, token: str) -> bool:
+        """Injection site before a shard task is submitted to the pool.
+
+        Returning True instructs the :class:`~repro.sharding.sharded.
+        ShardedFilter` to have that worker ``os._exit`` before attaching the
+        segment — a *real* process death (breaking the whole pool), unlike
+        ``worker_crash``'s in-thread exception.  The decision is made in the
+        parent so the injector's tally stays in one process.
+        """
+        return self._fire(
+            "shard_worker_kill", token, self.config.shard_worker_kill_rate
+        )
 
     def on_snapshot_saved(self, token: str, path) -> bool:
         """Injection site after an eviction save: maybe tear the file.

@@ -270,7 +270,14 @@ class FilterRegistry:
         if entry is None:
             raise UnknownFilterError(f"no filter named {name!r} is registered")
         with entry.op_lock:
+            old = entry.filt
             entry.filt = filt
+            # Replacing a filter that holds external resources (a sharded
+            # filter's worker pool + shared-memory segments) must release
+            # them, or the old segments leak until interpreter exit.  Guard
+            # against same-object swaps: in-place growers return themselves.
+            if old is not None and old is not filt and hasattr(old, "close"):
+                old.close()
 
     # ------------------------------------------------------------ eviction
     def _evict_to_budget(self) -> None:
@@ -312,7 +319,12 @@ class FilterRegistry:
                 return
             self.faults.on_snapshot_saved(entry.name, path)
             entry.snapshot_path = path
+            evicted = entry.filt
             entry.filt = None
+            # The snapshot is durable; release any external resources the
+            # evicted filter held (worker pools, shared-memory segments).
+            if hasattr(evicted, "close"):
+                evicted.close()
             self._bump("evictions")
 
     def flush(self) -> None:
@@ -325,3 +337,34 @@ class FilterRegistry:
                     path = self.snapshot_dir / f"{entry.name}.rpro"
                     save_filter(entry.filt, path)
                     entry.snapshot_path = path
+
+    def close_resident(self) -> None:
+        """Release resident filters' external resources (shutdown path).
+
+        Filters backed by OS resources that outlive the process — a sharded
+        filter's ``/dev/shm`` segments and worker pool — must be closed
+        explicitly, or the segments linger until every finalizer runs.  Each
+        closable filter is snapshotted first (eviction semantics: durable
+        before dropped), then closed and de-residented so a later access
+        restores from disk instead of touching a closed object.  Heap-only
+        filters have no ``close`` and are left resident untouched.
+        """
+        with self._lock:
+            entries = list(self._entries.values())
+        for entry in entries:
+            with entry.op_lock:
+                filt = entry.filt
+                if filt is None or not hasattr(filt, "close"):
+                    continue
+                path = self.snapshot_dir / f"{entry.name}.rpro"
+                try:
+                    save_filter(filt, path)
+                    entry.snapshot_path = path
+                    entry.filt = None
+                except Exception:
+                    # An unsaveable filter still must not leak its segments;
+                    # it stays formally resident so the data-loss is visible
+                    # (acquire raises on the closed filter, not silently
+                    # empty).
+                    self._bump("failed_evictions")
+                filt.close()

@@ -176,6 +176,10 @@ class FilterService:
             worker.join(timeout=10.0)
         if self.journal is not None:
             self.journal.close()
+        # Workers are joined: release OS-backed filter resources (sharded
+        # filters' shared-memory segments + process pools).  Snapshot-then-
+        # close, so the data survives and /dev/shm does not.
+        self.registry.close_resident()
 
     # -------------------------------------------------------------- client API
     def submit(

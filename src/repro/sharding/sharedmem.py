@@ -1,0 +1,213 @@
+"""Shared-memory backing for shard tables.
+
+Every shard of a :class:`~repro.sharding.sharded.ShardedFilter` keeps its
+complete table state — the same named numpy sections its snapshot format
+persists — inside one ``multiprocessing.shared_memory`` segment.  Worker
+processes attach the segment by name and *adopt* the views as their live
+tables (:meth:`QuotientFilterCore.adopt_state` and friends), so bulk
+operations move **zero table bytes** between processes: only the key
+batches and the event deltas cross the pipe.
+
+The layout mirrors :mod:`repro.lifecycle.snapshot`: sections are laid out
+back to back at 64-byte alignment, described by small picklable
+:class:`SectionSpec` records.  The parent process *owns* every segment
+(creates and eventually unlinks it); workers attach read-write but never
+unlink.
+
+Leak guards
+-----------
+POSIX shared memory outlives the process unless explicitly unlinked, so a
+crashed run would otherwise litter ``/dev/shm``.  Two layers defend this:
+
+* every owning :class:`ShardStore` registers a ``weakref.finalize`` hook —
+  the segment is unlinked when the store is garbage-collected or the
+  interpreter exits, even if nobody called :meth:`ShardStore.close`;
+* :meth:`ShardStore.close` unlinks eagerly (service shutdown, registry
+  eviction, worker-crash recovery call it explicitly).
+
+Attaching processes on Python < 3.13 must also *untrack* the segment: the
+stdlib registers every attach with the per-process ``resource_tracker``,
+whose exit-time cleanup would unlink a segment the owner still uses
+(python/cpython#82300).  :func:`_untrack` undoes that registration.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import secrets
+import weakref
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+#: Section alignment, matching the snapshot format (cache-line friendly).
+ALIGNMENT = 64
+
+
+def _align(n: int) -> int:
+    return (n + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+@dataclass(frozen=True)
+class SectionSpec:
+    """One named array section inside a shard segment (picklable)."""
+
+    name: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+    nbytes: int
+
+
+def layout_sections(
+    state: Mapping[str, np.ndarray],
+) -> Tuple[List[SectionSpec], int]:
+    """Compute the aligned segment layout for a ``snapshot_state`` dict."""
+    sections: List[SectionSpec] = []
+    offset = 0
+    for name in sorted(state):
+        array = np.ascontiguousarray(state[name])
+        sections.append(
+            SectionSpec(
+                name=name,
+                dtype=array.dtype.str,
+                shape=tuple(int(d) for d in array.shape),
+                offset=offset,
+                nbytes=int(array.nbytes),
+            )
+        )
+        offset += _align(int(array.nbytes))
+    return sections, max(offset, ALIGNMENT)
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Undo the attach-side resource-tracker registration (see module doc).
+
+    Only needed when the attaching process runs its *own* tracker (spawn /
+    forkserver children): that tracker would unlink the segment when the
+    child exits.  Under ``fork`` — the Linux default these pools use — the
+    tracker process is shared with the owner, the attach-side registration
+    is a set no-op, and unregistering here would cancel the owner's crash
+    protection (and make the owner's ``unlink`` double-unregister).
+    """
+    if multiprocessing.get_start_method(allow_none=True) in (None, "fork"):
+        return
+    name = getattr(shm, "_name", None)
+    if name is None:  # pragma: no cover - future stdlib layout change
+        return
+    try:
+        resource_tracker.unregister(name, "shared_memory")
+    except (KeyError, ValueError):  # pragma: no cover - already untracked
+        pass
+
+
+def _cleanup_segment(shm: shared_memory.SharedMemory, owner: bool) -> None:
+    """Finalizer body: unlink (owner) / detach (worker), idempotently.
+
+    Closing the local mapping can fail with ``BufferError`` while adopted
+    numpy views are still alive; the name is unlinked regardless (POSIX
+    keeps the memory until the last mapping dies, so live views stay
+    valid) and the mapping itself is released at process exit.
+    """
+    if owner:
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+    try:
+        shm.close()
+    except BufferError:
+        pass
+
+
+class ShardStore:
+    """One shard's table state in a shared-memory segment.
+
+    Build with :meth:`allocate` in the owning (parent) process or
+    :meth:`attach` in a worker, then hand :meth:`views` to the shard
+    filter's ``adopt_state``.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        sections: List[SectionSpec],
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        self.sections = sections
+        self.owner = owner
+        self._finalizer = weakref.finalize(self, _cleanup_segment, shm, owner)
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def allocate(cls, state: Mapping[str, np.ndarray]) -> "ShardStore":
+        """Create an owning segment holding a copy of ``state``."""
+        sections, total = layout_sections(state)
+        shm = shared_memory.SharedMemory(
+            create=True, size=total, name=f"repro-shard-{secrets.token_hex(8)}"
+        )
+        store = cls(shm, sections, owner=True)
+        views = store.views()
+        for name, array in state.items():
+            views[name][...] = np.ascontiguousarray(array)
+        return store
+
+    @classmethod
+    def attach(cls, handle: Dict[str, object]) -> "ShardStore":
+        """Attach a worker-side (non-owning) view of an existing segment."""
+        shm = shared_memory.SharedMemory(name=str(handle["shm_name"]))
+        _untrack(shm)
+        sections = [SectionSpec(**spec) for spec in handle["sections"]]  # type: ignore[arg-type]
+        return cls(shm, sections, owner=False)
+
+    # ----------------------------------------------------------------- access
+    @property
+    def shm_name(self) -> str:
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        return self._shm.size
+
+    def handle(self) -> Dict[str, object]:
+        """A picklable description workers use to :meth:`attach`."""
+        return {
+            "shm_name": self._shm.name,
+            "sections": [vars(spec) for spec in self.sections],
+        }
+
+    def views(self) -> Dict[str, np.ndarray]:
+        """Live numpy views over the segment, one per section."""
+        out: Dict[str, np.ndarray] = {}
+        for spec in self.sections:
+            out[spec.name] = np.ndarray(
+                spec.shape,
+                dtype=np.dtype(spec.dtype),
+                buffer=self._shm.buf,
+                offset=spec.offset,
+            )
+        return out
+
+    # ---------------------------------------------------------------- teardown
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+    def close(self) -> None:
+        """Release the segment now (unlink if owner); safe to call twice.
+
+        Callers should drop every adopted view (and the filters holding
+        them) first, so the local mapping can be fully released rather
+        than lingering until process exit.
+        """
+        self._finalizer()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        role = "owner" if self.owner else "worker"
+        return (
+            f"ShardStore({self._shm.name}, {len(self.sections)} sections, "
+            f"{self._shm.size} bytes, {role})"
+        )

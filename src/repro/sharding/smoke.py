@@ -1,0 +1,95 @@
+"""CI scaling smoke: assert sharded bulk insert actually scales.
+
+``python -m repro.sharding.smoke --shards 2 --min-speedup 1.3`` builds one
+unsharded bulk GQF and one N-shard :class:`ShardedFilter` at the same
+logical capacity, feeds both the same key batch, and fails (exit 1) unless
+the sharded insert beats the unsharded one by the requested factor.  CI
+runs it on a known-core-count runner, where the threshold is meaningful;
+locally it is a quick sanity probe (``--min-speedup 0`` never fails).
+
+The full 1/2/4/8 scaling curve with balance and parity expectations lives
+in the ``sharding`` pipeline stage; this module is deliberately tiny so a
+CI step can gate on one number without dragging the whole pipeline in.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import time
+
+import numpy as np
+
+from ..core.gqf.bulk_gqf import BulkGQF
+from ..gpusim.stats import StatsRecorder
+from .sharded import ShardedFilter
+
+
+def _best_insert_seconds(build, keys: np.ndarray, repeats: int) -> float:
+    best = math.inf
+    for _ in range(repeats):
+        filt = build()
+        if isinstance(filt, ShardedFilter):
+            filt.warm_up()
+        start = time.perf_counter()
+        filt.bulk_insert(keys)
+        best = min(best, time.perf_counter() - start)
+        if isinstance(filt, ShardedFilter):
+            filt.close()
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--min-speedup", type=float, default=0.0)
+    parser.add_argument("--keys", type=int, default=400_000)
+    parser.add_argument("--lg", type=int, default=20, help="log2 of the logical slot count")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=20230225)
+    args = parser.parse_args(argv)
+    if args.shards < 1 or (args.shards & (args.shards - 1)) != 0:
+        parser.error("--shards must be a power of two")
+    shard_lg = args.lg - int(math.log2(args.shards))
+    keys = np.random.default_rng(args.seed).integers(
+        0, 2**63, size=args.keys, dtype=np.uint64
+    )
+
+    base_seconds = _best_insert_seconds(
+        lambda: BulkGQF(
+            quotient_bits=args.lg, remainder_bits=8, recorder=StatsRecorder()
+        ),
+        keys,
+        args.repeats,
+    )
+    sharded_seconds = _best_insert_seconds(
+        lambda: ShardedFilter(
+            args.shards,
+            BulkGQF,
+            {"quotient_bits": shard_lg, "remainder_bits": 8},
+            max_workers=args.shards,
+        ),
+        keys,
+        args.repeats,
+    )
+    speedup = base_seconds / sharded_seconds if sharded_seconds > 0 else math.inf
+    report = {
+        "shards": args.shards,
+        "cpu_count": os.cpu_count(),
+        "n_keys": args.keys,
+        "unsharded_seconds": round(base_seconds, 6),
+        "sharded_seconds": round(sharded_seconds, 6),
+        "speedup": round(speedup, 3),
+        "min_speedup": args.min_speedup,
+        "ok": speedup >= args.min_speedup,
+    }
+    json.dump(report, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

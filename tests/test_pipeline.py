@@ -27,12 +27,12 @@ from repro.pipeline.stage import _REGISTRY
 EXPECTED_STAGES = [
     "fig3", "fig4", "fig5", "fig6",
     "table1", "table2", "table3", "table4", "table5",
-    "ablations", "point_timing", "lifecycle", "service",
+    "ablations", "point_timing", "lifecycle", "service", "sharding",
 ]
 
 
 class TestRegistry:
-    def test_all_thirteen_stages_registered(self):
+    def test_all_fourteen_stages_registered(self):
         assert stage_names() == EXPECTED_STAGES
 
     def test_round_trip(self):

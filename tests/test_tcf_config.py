@@ -30,7 +30,8 @@ class TestTCFConfig:
     def test_slot_dtype_by_width(self):
         assert TCFConfig(fingerprint_bits=8, block_size=8).slot_dtype == np.dtype(np.uint16)
         assert TCFConfig(fingerprint_bits=16, block_size=16).slot_dtype == np.dtype(np.uint16)
-        assert TCFConfig(fingerprint_bits=16, block_size=16, value_bits=8).slot_dtype == np.dtype(np.uint32)
+        config = TCFConfig(fingerprint_bits=16, block_size=16, value_bits=8)
+        assert config.slot_dtype == np.dtype(np.uint32)
 
     def test_slot_bits_respects_minimum_cas_width(self):
         assert TCFConfig(fingerprint_bits=8, block_size=8).slot_bits == 16
